@@ -1,0 +1,165 @@
+// Shared benchmark harness for the figure reproductions.
+//
+// Every bench binary prints CSV rows: figure,series,x,value
+// where `value` is throughput in Mops/s unless stated otherwise.
+//
+// Environment knobs (one binary serves smoke runs and full sweeps):
+//   MONTAGE_BENCH_SECONDS  — measurement time per data point (default 0.2)
+//   MONTAGE_BENCH_THREADS  — max thread count in sweeps (default 8)
+//   MONTAGE_BENCH_SCALE    — fraction of the paper's data-set sizes
+//                            (default 0.02; 1.0 = paper scale)
+//   MONTAGE_FLUSH_NS       — emulated per-line drain latency (default 150)
+//   MONTAGE_FENCE_NS       — emulated fixed fence cost (default 300)
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "montage/epoch_sys.hpp"
+#include "montage/recoverable.hpp"
+#include "nvm/region.hpp"
+#include "ralloc/ralloc.hpp"
+#include "util/barrier.hpp"
+#include "util/env.hpp"
+#include "util/inline_str.hpp"
+#include "util/pin.hpp"
+#include "util/rand.hpp"
+#include "util/timing.hpp"
+
+namespace montage::bench {
+
+using Key = util::InlineStr<32>;
+
+struct Config {
+  double seconds;
+  int max_threads;
+  double scale;
+  uint64_t flush_ns;
+  uint64_t fence_ns;
+
+  static Config from_env() {
+    Config c;
+    c.seconds = util::env_double("MONTAGE_BENCH_SECONDS", 0.2);
+    c.max_threads = static_cast<int>(util::env_u64("MONTAGE_BENCH_THREADS", 8));
+    c.scale = util::env_double("MONTAGE_BENCH_SCALE", 0.02);
+    // Defaults approximate Optane: ~15 ns of drain bandwidth per 64 B line
+    // (~4 GB/s per socket), ~200 ns to drain the pipeline at a fence.
+    c.flush_ns = util::env_u64("MONTAGE_FLUSH_NS", 15);
+    c.fence_ns = util::env_u64("MONTAGE_FENCE_NS", 200);
+    return c;
+  }
+
+  /// Thread counts for a sweep: 1,2,4,... up to max_threads.
+  std::vector<int> thread_counts() const {
+    std::vector<int> out;
+    for (int t = 1; t <= max_threads; t *= 2) out.push_back(t);
+    if (out.back() != max_threads) out.push_back(max_threads);
+    return out;
+  }
+};
+
+/// One fresh NVM environment (region + allocator [+ epoch system]) per
+/// series, so no state leaks across measurements.
+class BenchEnv {
+ public:
+  explicit BenchEnv(const Config& cfg, std::size_t region_size = 6ull << 30,
+                    nvm::PersistMode mode = nvm::PersistMode::kLatency) {
+    nvm::RegionOptions ropts;
+    ropts.size = region_size;
+    ropts.mode = mode;
+    ropts.flush_latency_ns = cfg.flush_ns;
+    ropts.fence_latency_ns = cfg.fence_ns;
+    ropts.wpq_backlog_ns = util::env_u64("MONTAGE_WPQ_NS", 10'000);
+    nvm::Region::init_global(ropts);
+    ral_ = std::make_unique<ralloc::Ralloc>(nvm::Region::global(),
+                                            ralloc::Ralloc::Mode::kFresh);
+    ralloc::Ralloc::set_default_instance(ral_.get());
+  }
+
+  void make_esys(const EpochSys::Options& opts) {
+    esys_ = std::make_unique<EpochSys>(ral_.get(), opts);
+    EpochSys::set_default_esys(esys_.get());
+  }
+
+  ~BenchEnv() {
+    esys_.reset();
+    ral_.reset();
+    nvm::Region::destroy_global();
+  }
+
+  ralloc::Ralloc* ral() { return ral_.get(); }
+  EpochSys* esys() { return esys_.get(); }
+
+ private:
+  std::unique_ptr<ralloc::Ralloc> ral_;
+  std::unique_ptr<EpochSys> esys_;
+};
+
+/// Duration-based throughput driver: runs `op(tid, rng, i)` in a loop on
+/// `threads` threads for ~`seconds`, returns total Mops/s.
+inline double run_throughput(
+    int threads, double seconds,
+    const std::function<void(int, util::Xorshift128Plus&, uint64_t)>& op) {
+  util::SpinBarrier barrier(threads + 1);
+  std::vector<uint64_t> counts(threads, 0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> ts;
+  ts.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      util::pin_thread(t);
+      util::Xorshift128Plus rng(0x1234 + t * 7919);
+      barrier.arrive_and_wait();
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Check the clock only every few ops via the stop flag set below.
+        op(t, rng, i);
+        ++i;
+      }
+      counts[t] = i;
+    });
+  }
+  barrier.arrive_and_wait();
+  const uint64_t t0 = util::now_ns();
+  while (util::to_seconds(util::now_ns() - t0) < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : ts) th.join();
+  const double elapsed = util::to_seconds(util::now_ns() - t0);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return static_cast<double>(total) / elapsed / 1e6;
+}
+
+/// MONTAGE_BENCH_SERIES=<name> restricts a bench binary to one series.
+inline bool series_enabled(const std::string& name) {
+  static const std::string filter = util::env_str("MONTAGE_BENCH_SERIES", "");
+  return filter.empty() || filter == name;
+}
+
+inline void emit(const std::string& figure, const std::string& series,
+                 const std::string& x, double value) {
+  std::printf("%s,%s,%s,%.4f\n", figure.c_str(), series.c_str(), x.c_str(),
+              value);
+  std::fflush(stdout);
+}
+
+template <std::size_t N>
+util::InlineStr<N> make_value() {
+  std::string s(N - 1, 'x');
+  return util::InlineStr<N>(s);
+}
+
+inline Key key_of(uint64_t k) {
+  // Paper: integer keys 1..1M converted to strings padded to 32 B.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%024lu", static_cast<unsigned long>(k));
+  return Key(buf);
+}
+
+}  // namespace montage::bench

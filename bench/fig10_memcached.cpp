@@ -1,0 +1,74 @@
+// Figure 10: memcached-like cache under YCSB-A (50% read / 50% update,
+// zipfian keys) vs thread count. Series: DRAM (T), Montage (T) — the
+// transient cache with items in NVM — and fully persistent Montage
+// (paper §6.2).
+#include "bench/common.hpp"
+#include "kvstore/memcache.hpp"
+#include "kvstore/ycsb.hpp"
+
+namespace montage::bench {
+namespace {
+
+using kvstore::CacheValue;
+using kvstore::YcsbAConfig;
+using kvstore::YcsbAGenerator;
+
+template <typename Cache>
+double run_ycsb(Cache& cache, int threads, double seconds,
+                uint64_t records) {
+  const CacheValue payload = []() {
+    std::string s(1000, 'y');
+    return CacheValue(s);
+  }();
+  YcsbAGenerator::load(cache, records, payload);
+  // One generator per thread (YCSB threads draw independently).
+  std::vector<std::unique_ptr<YcsbAGenerator>> gens;
+  YcsbAConfig cfg;
+  cfg.record_count = records;
+  for (int t = 0; t < threads; ++t) {
+    gens.push_back(std::make_unique<YcsbAGenerator>(cfg, 1000 + t));
+  }
+  return run_throughput(threads, seconds,
+                        [&](int tid, util::Xorshift128Plus&, uint64_t) {
+                          auto& gen = *gens[tid];
+                          gen.apply(cache, gen.next(), payload);
+                        });
+}
+
+void main_impl() {
+  const Config cfg = Config::from_env();
+  const uint64_t records =
+      std::max<uint64_t>(2048, static_cast<uint64_t>(1'000'000 * cfg.scale));
+  const std::size_t shards = 64;
+  const std::size_t cap_per_shard = records;  // no evictions in this bench
+
+  for (int t : cfg.thread_counts()) {
+    BenchEnv env(cfg);
+    kvstore::TransientMemCache<ds::DramMem> cache(shards, cap_per_shard);
+    emit("fig10", "DRAM(T)", std::to_string(t),
+         run_ycsb(cache, t, cfg.seconds, records));
+  }
+  for (int t : cfg.thread_counts()) {
+    BenchEnv env(cfg);
+    kvstore::TransientMemCache<ds::NvmMem> cache(shards, cap_per_shard);
+    emit("fig10", "Montage(T)", std::to_string(t),
+         run_ycsb(cache, t, cfg.seconds, records));
+  }
+  for (int t : cfg.thread_counts()) {
+    BenchEnv env(cfg);
+    EpochSys::Options opts;
+    env.make_esys(opts);
+    kvstore::MontageMemCache cache(env.esys(), shards, cap_per_shard);
+    emit("fig10", "Montage", std::to_string(t),
+         run_ycsb(cache, t, cfg.seconds, records));
+  }
+}
+
+}  // namespace
+}  // namespace montage::bench
+
+int main() {
+  std::printf("figure,series,x,value\n");
+  montage::bench::main_impl();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 11: general-graph microbenchmark (paper §6.3) at two operation
+// mixes, (AddEdge+RemoveEdge):(AddVertex+RemoveVertex) = 4:1 and 499:1.
+// The graph is preloaded with half its vertex capacity, each initial vertex
+// connected to ~32 random others; the op mix is balanced so the vertex
+// count and average degree stay statistically stable.
+// Series: DRAM (T), Montage (T), Montage.
+#include "bench/common.hpp"
+#include "ds/montage_graph.hpp"
+#include "ds/transient_graph.hpp"
+#include "util/zipf.hpp"
+
+namespace montage::bench {
+namespace {
+
+constexpr uint64_t kDegree = 32;
+
+template <typename G>
+void preload_graph(G& g, uint64_t capacity) {
+  util::Xorshift128Plus rng(7);
+  const uint64_t nverts = capacity / 2;
+  for (uint64_t v = 0; v < nverts; ++v) g.add_vertex(v, v);
+  for (uint64_t v = 0; v < nverts; ++v) {
+    for (uint64_t e = 0; e < kDegree / 2; ++e) {
+      g.add_edge(v, rng.next_bounded(nverts), v + e);
+    }
+  }
+}
+
+/// One op per call; edge_w : vertex_w is the paper's 4:1 / 499:1 ratio.
+template <typename G>
+double run_graph_mix(G& g, int threads, double seconds, uint64_t capacity,
+                     int edge_w, int vertex_w) {
+  const int total_w = edge_w + vertex_w;
+  return run_throughput(
+      threads, seconds,
+      [&, total_w](int, util::Xorshift128Plus& rng, uint64_t) {
+        const uint64_t dice = rng.next_bounded(total_w);
+        const uint64_t a = rng.next_bounded(capacity);
+        if (dice < static_cast<uint64_t>(edge_w)) {
+          const uint64_t b = rng.next_bounded(capacity);
+          if (rng.next_bounded(2) == 0) {
+            g.add_edge(a, b, a);
+          } else {
+            g.remove_edge(a, b);
+          }
+        } else {
+          if (rng.next_bounded(2) == 0) {
+            if (g.add_vertex(a, a)) {
+              // AddVertex connects the new vertex to ~32 others (paper).
+              for (uint64_t e = 0; e < kDegree; ++e) {
+                g.add_edge(a, rng.next_bounded(capacity), e);
+              }
+            }
+          } else {
+            g.remove_vertex(a);
+          }
+        }
+      });
+}
+
+void run_ratio(const Config& cfg, int edge_w, int vertex_w,
+               const std::string& tag) {
+  const uint64_t capacity =
+      std::max<uint64_t>(2048, static_cast<uint64_t>(1'000'000 * cfg.scale));
+  for (int t : cfg.thread_counts()) {
+    BenchEnv env(cfg);
+    ds::TransientGraph<uint64_t, uint64_t, ds::DramMem> g(capacity);
+    preload_graph(g, capacity);
+    emit("fig11" + tag, "DRAM(T)", std::to_string(t),
+         run_graph_mix(g, t, cfg.seconds, capacity, edge_w, vertex_w));
+  }
+  for (int t : cfg.thread_counts()) {
+    BenchEnv env(cfg);
+    EpochSys::Options opts;
+    opts.transient = true;
+    opts.start_advancer = false;
+    env.make_esys(opts);
+    ds::MontageGraph<uint64_t, uint64_t> g(env.esys(), capacity);
+    preload_graph(g, capacity);
+    emit("fig11" + tag, "Montage(T)", std::to_string(t),
+         run_graph_mix(g, t, cfg.seconds, capacity, edge_w, vertex_w));
+  }
+  for (int t : cfg.thread_counts()) {
+    BenchEnv env(cfg);
+    EpochSys::Options opts;
+    env.make_esys(opts);
+    ds::MontageGraph<uint64_t, uint64_t> g(env.esys(), capacity);
+    preload_graph(g, capacity);
+    emit("fig11" + tag, "Montage", std::to_string(t),
+         run_graph_mix(g, t, cfg.seconds, capacity, edge_w, vertex_w));
+  }
+}
+
+void main_impl() {
+  const Config cfg = Config::from_env();
+  run_ratio(cfg, 4, 1, "a");
+  run_ratio(cfg, 499, 1, "b");
+}
+
+}  // namespace
+}  // namespace montage::bench
+
+int main() {
+  std::printf("figure,series,x,value\n");
+  montage::bench::main_impl();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 5: design exploration on the single-threaded queue (paper §5.2).
+// Same groups as Figure 4, with the 1:1 enqueue:dequeue workload.
+#include "bench/queue_adapters.hpp"
+
+namespace montage::bench {
+namespace {
+
+using Val = util::InlineStr<1024>;
+
+double run_config(const Config& cfg, const EpochSys::Options& opts) {
+  const Val value = make_value<1024>();
+  BenchEnv env(cfg);
+  env.make_esys(opts);
+  MontageQueueAdapter<Val> a(env);
+  return run_queue_mix(a, /*threads=*/1, cfg.seconds, value);
+}
+
+void main_impl() {
+  const Config cfg = Config::from_env();
+  const uint64_t epoch_lengths_ns[] = {10'000,      100'000,    1'000'000,
+                                       10'000'000,  100'000'000};
+
+  auto sweep = [&](const std::string& group, EpochSys::Options base) {
+    for (uint64_t len : epoch_lengths_ns) {
+      base.epoch_length_ns = len;
+      emit("fig5", group, std::to_string(len / 1000) + "us",
+           run_config(cfg, base));
+    }
+  };
+
+  for (std::size_t buf : {2ull, 16ull, 64ull, 256ull}) {
+    EpochSys::Options o;
+    o.buffer_capacity = buf;
+    sweep("Buf=" + std::to_string(buf), o);
+  }
+  {
+    EpochSys::Options o;
+    o.buffer_capacity = 64;
+    o.local_free = true;
+    sweep("Buf=64+LocalFree", o);
+  }
+  {
+    EpochSys::Options o;
+    o.write_back = WriteBack::kImmediate;
+    sweep("DirWB", o);
+  }
+  {
+    EpochSys::Options o;
+    o.transient = true;
+    o.start_advancer = false;
+    emit("fig5", "Montage(T)", "-", run_config(cfg, o));
+  }
+  {
+    EpochSys::Options o;
+    o.buffer_capacity = 64;
+    o.direct_free = true;
+    sweep("Buf=64+DirFree", o);
+  }
+}
+
+}  // namespace
+}  // namespace montage::bench
+
+int main() {
+  std::printf("figure,series,x,value\n");
+  montage::bench::main_impl();
+  return 0;
+}

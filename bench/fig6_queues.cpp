@@ -1,0 +1,72 @@
+// Figure 6: throughput of concurrent queues vs thread count.
+// Series: DRAM (T), NVM (T), Montage (T), Montage, Friedman, MOD,
+// Pronto-Full, Pronto-Sync, Mnemosyne. Workload: 1:1 enqueue:dequeue,
+// 1 KB values (paper §6.1).
+#include "bench/queue_adapters.hpp"
+#include "ds/montage_msqueue.hpp"
+
+namespace montage::bench {
+namespace {
+
+using Val = util::InlineStr<1024>;
+
+template <typename V>
+struct MontageMSQueueAdapter {
+  ds::MontageMSQueue<V> q;
+  explicit MontageMSQueueAdapter(BenchEnv& env) : q(env.esys()) {}
+  void enqueue(const V& v) { q.enqueue(v); }
+  std::optional<V> dequeue() { return q.dequeue(); }
+};
+
+template <typename Adapter>
+void run_series(const Config& cfg, const std::string& name,
+                const EpochSys::Options* esys_opts) {
+  if (!series_enabled(name)) return;
+  const Val value = make_value<1024>();
+  for (int t : cfg.thread_counts()) {
+    BenchEnv env(cfg);
+    if (esys_opts != nullptr) {
+      env.make_esys(*esys_opts);
+    } else {
+      EpochSys::Options transient_opts;  // some adapters want no esys at all
+      transient_opts.transient = true;
+      transient_opts.start_advancer = false;
+      env.make_esys(transient_opts);
+    }
+    Adapter a(env);
+    const double mops = run_queue_mix(a, t, cfg.seconds, value);
+    emit("fig6", name, std::to_string(t), mops);
+  }
+}
+
+void main_impl() {
+  const Config cfg = Config::from_env();
+  EpochSys::Options montage_opts;  // defaults: buffered 64, 10 ms epochs
+  EpochSys::Options transient_opts;
+  transient_opts.transient = true;
+  transient_opts.start_advancer = false;
+
+  run_series<TransientQueueAdapter<Val, ds::DramMem>>(cfg, "DRAM(T)", nullptr);
+  run_series<TransientQueueAdapter<Val, ds::NvmMem>>(cfg, "NVM(T)", nullptr);
+  run_series<MontageQueueAdapter<Val>>(cfg, "Montage(T)", &transient_opts);
+  run_series<MontageQueueAdapter<Val>>(cfg, "Montage", &montage_opts);
+  // Extension beyond the paper's reported figure: the nonblocking (DCSS)
+  // Montage queue — §3.3's "in work not reported here".
+  run_series<MontageMSQueueAdapter<Val>>(cfg, "Montage-NB", &montage_opts);
+  run_series<FriedmanQueueAdapter<Val>>(cfg, "Friedman", nullptr);
+  run_series<ModQueueAdapter<Val>>(cfg, "MOD", nullptr);
+  run_series<ProntoQueueAdapter<Val, baselines::ProntoMode::kFull>>(
+      cfg, "Pronto-Full", nullptr);
+  run_series<ProntoQueueAdapter<Val, baselines::ProntoMode::kSync>>(
+      cfg, "Pronto-Sync", nullptr);
+  run_series<MnemosyneQueueAdapter<Val>>(cfg, "Mnemosyne", nullptr);
+}
+
+}  // namespace
+}  // namespace montage::bench
+
+int main() {
+  std::printf("figure,series,x,value\n");
+  montage::bench::main_impl();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 9: write-dominant hashmap with a sync() every k operations per
+// thread, k swept over 1..1e5 (paper §6.1.2). Montage appears twice:
+//   Montage(cb) — 64-entry circular write-back buffers (the default)
+//   Montage(dw) — all written payloads flushed at the end of each operation
+// Strict-DL systems persist every operation regardless of k, so their
+// curves are flat; they are reported at each k for reference.
+#include "bench/map_adapters.hpp"
+
+namespace montage::bench {
+namespace {
+
+using Val = util::InlineStr<1024>;
+
+template <typename Adapter>
+void run_series(const Config& cfg, const std::string& name,
+                const EpochSys::Options* esys_opts) {
+  const Val value = make_value<1024>();
+  const auto buckets =
+      std::max<uint64_t>(1024, static_cast<uint64_t>(1'000'000 * cfg.scale));
+  const uint64_t sync_intervals[] = {1, 10, 100, 1000, 10000};
+  for (uint64_t k : sync_intervals) {
+    BenchEnv env(cfg);
+    EpochSys::Options transient_opts;
+    transient_opts.transient = true;
+    transient_opts.start_advancer = false;
+    env.make_esys(esys_opts != nullptr ? *esys_opts : transient_opts);
+    Adapter a(env, buckets);
+    preload_map(a, buckets / 2, buckets, value);
+    const double mops = run_map_mix(a, cfg.max_threads, cfg.seconds, 0, 1, 1,
+                                    buckets, value, /*sync_every=*/k);
+    emit("fig9", name, std::to_string(k), mops);
+  }
+}
+
+void main_impl() {
+  const Config cfg = Config::from_env();
+  EpochSys::Options cb;  // defaults: 64-entry buffers
+  EpochSys::Options dw;
+  dw.write_back = WriteBack::kPerOp;
+  EpochSys::Options transient_opts;
+  transient_opts.transient = true;
+  transient_opts.start_advancer = false;
+
+  run_series<TransientMapAdapter<Val, ds::NvmMem>>(cfg, "NVM(T)", nullptr);
+  run_series<MontageMapAdapter<Val>>(cfg, "Montage(T)", &transient_opts);
+  run_series<MontageMapAdapter<Val>>(cfg, "Montage(cb)", &cb);
+  run_series<MontageMapAdapter<Val>>(cfg, "Montage(dw)", &dw);
+  run_series<SoftMapAdapter<Val>>(cfg, "SOFT", nullptr);
+  run_series<NvTraverseMapAdapter<Val>>(cfg, "NVTraverse", nullptr);
+  run_series<DaliMapAdapter<Val>>(cfg, "Dali", nullptr);
+  run_series<ModMapAdapter<Val>>(cfg, "MOD", nullptr);
+  run_series<ProntoMapAdapter<Val, baselines::ProntoMode::kFull>>(
+      cfg, "Pronto-Full", nullptr);
+  run_series<ProntoMapAdapter<Val, baselines::ProntoMode::kSync>>(
+      cfg, "Pronto-Sync", nullptr);
+  run_series<MnemosyneMapAdapter<Val>>(cfg, "Mnemosyne", nullptr);
+}
+
+}  // namespace
+}  // namespace montage::bench
+
+int main() {
+  std::printf("figure,series,x,value\n");
+  montage::bench::main_impl();
+  return 0;
+}

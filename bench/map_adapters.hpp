@@ -1,0 +1,151 @@
+// Uniform adapters over every hashmap system, so the figure benches can
+// drive them through one template. Each adapter owns nothing but views into
+// a BenchEnv whose lifetime the caller controls.
+#pragma once
+
+#include <optional>
+
+#include "baselines/dali_hashmap.hpp"
+#include "baselines/mnemosyne.hpp"
+#include "baselines/mod.hpp"
+#include "baselines/nvtraverse_hashmap.hpp"
+#include "baselines/pronto.hpp"
+#include "baselines/soft_hashmap.hpp"
+#include "bench/common.hpp"
+#include "ds/montage_hashmap.hpp"
+#include "ds/transient.hpp"
+
+namespace montage::bench {
+
+template <typename V>
+struct MontageMapAdapter {
+  ds::MontageHashMap<Key, V> map;
+  MontageMapAdapter(BenchEnv& env, std::size_t buckets)
+      : map(env.esys(), buckets) {}
+  bool insert(const Key& k, const V& v) { return map.insert(k, v); }
+  std::optional<V> get(const Key& k) { return map.get(k); }
+  std::optional<V> remove(const Key& k) { return map.remove(k); }
+  void sync() { map.esys()->sync(); }
+};
+
+template <typename V, typename Mem>
+struct TransientMapAdapter {
+  ds::TransientHashMap<Key, V, Mem> map;
+  TransientMapAdapter(BenchEnv&, std::size_t buckets) : map(buckets) {}
+  bool insert(const Key& k, const V& v) { return map.insert(k, v); }
+  std::optional<V> get(const Key& k) { return map.get(k); }
+  std::optional<V> remove(const Key& k) { return map.remove(k); }
+  void sync() {}
+};
+
+template <typename V>
+struct SoftMapAdapter {
+  baselines::SoftHashMap<Key, V> map;
+  SoftMapAdapter(BenchEnv& env, std::size_t buckets)
+      : map(env.ral(), buckets) {}
+  bool insert(const Key& k, const V& v) { return map.insert(k, v); }
+  std::optional<V> get(const Key& k) { return map.get(k); }
+  std::optional<V> remove(const Key& k) { return map.remove(k); }
+  void sync() {}
+};
+
+template <typename V>
+struct NvTraverseMapAdapter {
+  baselines::NvTraverseHashMap<Key, V> map;
+  NvTraverseMapAdapter(BenchEnv& env, std::size_t buckets)
+      : map(env.ral(), buckets) {}
+  bool insert(const Key& k, const V& v) { return map.insert(k, v); }
+  std::optional<V> get(const Key& k) { return map.get(k); }
+  std::optional<V> remove(const Key& k) { return map.remove(k); }
+  void sync() {}
+};
+
+template <typename V>
+struct DaliMapAdapter {
+  baselines::DaliHashMap<Key, V> map;
+  DaliMapAdapter(BenchEnv& env, std::size_t buckets)
+      : map(env.ral(), buckets) {}
+  bool insert(const Key& k, const V& v) { return map.insert(k, v); }
+  std::optional<V> get(const Key& k) { return map.get(k); }
+  std::optional<V> remove(const Key& k) { return map.remove(k); }
+  void sync() { map.persist_pass(); }
+};
+
+template <typename V>
+struct ModMapAdapter {
+  baselines::ModHashMap<Key, V> map;
+  ModMapAdapter(BenchEnv& env, std::size_t buckets)
+      : map(env.ral(), buckets) {}
+  bool insert(const Key& k, const V& v) { return map.insert(k, v); }
+  std::optional<V> get(const Key& k) { return map.get(k); }
+  std::optional<V> remove(const Key& k) { return map.remove(k); }
+  void sync() {}
+};
+
+template <typename V>
+struct MnemosyneMapAdapter {
+  baselines::MnemosyneHashMap<Key, V> map;
+  MnemosyneMapAdapter(BenchEnv& env, std::size_t buckets)
+      : map(env.ral(), buckets) {}
+  bool insert(const Key& k, const V& v) { return map.insert(k, v); }
+  std::optional<V> get(const Key& k) { return map.get(k); }
+  std::optional<V> remove(const Key& k) { return map.remove(k); }
+  void sync() {}
+};
+
+template <typename V, baselines::ProntoMode Mode>
+struct ProntoMapAdapter {
+  using Inner = baselines::ProntoMapInner<Key, V>;
+  baselines::ProntoStore<Inner> store;
+  ProntoMapAdapter(BenchEnv& env, std::size_t buckets)
+      : store(env.ral(), Inner(buckets), Mode,
+              /*log_entries=*/1 << 15) {}
+  bool insert(const Key& k, const V& v) {
+    return store.update(typename Inner::Entry{1, k, v},
+                        [&](Inner& m) { return m.insert(k, v); });
+  }
+  std::optional<V> get(const Key& k) {
+    return store.read([&](Inner& m) { return m.get(k); });
+  }
+  std::optional<V> remove(const Key& k) {
+    return store.update(typename Inner::Entry{2, k, V{}},
+                        [&](Inner& m) { return m.remove(k); });
+  }
+  void sync() {}
+};
+
+/// The paper's map mix driver: get:insert:remove with the given weights,
+/// uniform keys in [1, keyrange].
+template <typename Adapter, typename V>
+double run_map_mix(Adapter& a, int threads, double seconds, int wg, int wi,
+                   int wr, uint64_t keyrange, const V& value,
+                   uint64_t sync_every = 0) {
+  const int total_w = wg + wi + wr;
+  return run_throughput(
+      threads, seconds,
+      [&, total_w](int, util::Xorshift128Plus& rng, uint64_t i) {
+        const Key k = key_of(rng.next_bounded(keyrange) + 1);
+        const uint64_t dice = rng.next_bounded(total_w);
+        if (dice < static_cast<uint64_t>(wg)) {
+          a.get(k);
+        } else if (dice < static_cast<uint64_t>(wg + wi)) {
+          a.insert(k, value);
+        } else {
+          a.remove(k);
+        }
+        if (sync_every != 0 && (i + 1) % sync_every == 0) a.sync();
+      });
+}
+
+/// Preload `count` distinct keys drawn from [1, keyrange].
+template <typename Adapter, typename V>
+void preload_map(Adapter& a, uint64_t count, uint64_t keyrange,
+                 const V& value) {
+  util::Xorshift128Plus rng(42);
+  uint64_t loaded = 0;
+  while (loaded < count) {
+    if (a.insert(key_of(rng.next_bounded(keyrange) + 1), value)) ++loaded;
+  }
+}
+
+}  // namespace montage::bench

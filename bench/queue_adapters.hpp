@@ -1,0 +1,90 @@
+// Uniform adapters over every queue system for the figure benches.
+#pragma once
+
+#include <optional>
+
+#include "baselines/friedman_queue.hpp"
+#include "baselines/mnemosyne.hpp"
+#include "baselines/mod.hpp"
+#include "baselines/pronto.hpp"
+#include "bench/common.hpp"
+#include "ds/montage_queue.hpp"
+#include "ds/transient.hpp"
+
+namespace montage::bench {
+
+template <typename V>
+struct MontageQueueAdapter {
+  ds::MontageQueue<V> q;
+  explicit MontageQueueAdapter(BenchEnv& env) : q(env.esys()) {}
+  void enqueue(const V& v) { q.enqueue(v); }
+  std::optional<V> dequeue() { return q.dequeue(); }
+};
+
+template <typename V, typename Mem>
+struct TransientQueueAdapter {
+  ds::TransientQueue<V, Mem> q;
+  explicit TransientQueueAdapter(BenchEnv&) {}
+  void enqueue(const V& v) { q.enqueue(v); }
+  std::optional<V> dequeue() { return q.dequeue(); }
+};
+
+template <typename V>
+struct FriedmanQueueAdapter {
+  baselines::FriedmanQueue<V> q;
+  explicit FriedmanQueueAdapter(BenchEnv& env) : q(env.ral()) {}
+  void enqueue(const V& v) { q.enqueue(v); }
+  std::optional<V> dequeue() { return q.dequeue(); }
+};
+
+template <typename V>
+struct ModQueueAdapter {
+  baselines::ModQueue<V> q;
+  explicit ModQueueAdapter(BenchEnv& env) : q(env.ral()) {}
+  void enqueue(const V& v) { q.enqueue(v); }
+  std::optional<V> dequeue() { return q.dequeue(); }
+};
+
+template <typename V>
+struct MnemosyneQueueAdapter {
+  baselines::MnemosyneQueue<V> q;
+  explicit MnemosyneQueueAdapter(BenchEnv& env) : q(env.ral()) {}
+  void enqueue(const V& v) { q.enqueue(v); }
+  std::optional<V> dequeue() { return q.dequeue(); }
+};
+
+template <typename V, baselines::ProntoMode Mode>
+struct ProntoQueueAdapter {
+  using Inner = baselines::ProntoQueueInner<V>;
+  baselines::ProntoStore<Inner> store;
+  explicit ProntoQueueAdapter(BenchEnv& env)
+      : store(env.ral(), Inner(), Mode, 1 << 15) {}
+  void enqueue(const V& v) {
+    store.update(typename Inner::Entry{1, v}, [&](Inner& q) {
+      q.enqueue(v);
+      return 0;
+    });
+  }
+  std::optional<V> dequeue() {
+    return store.update(typename Inner::Entry{2, V{}},
+                        [](Inner& q) { return q.dequeue(); });
+  }
+};
+
+/// The paper's queue workload: 1:1 enqueue:dequeue, preloaded with a few
+/// elements so dequeues rarely hit empty.
+template <typename Adapter, typename V>
+double run_queue_mix(Adapter& a, int threads, double seconds, const V& value,
+                     uint64_t preload = 1024) {
+  for (uint64_t i = 0; i < preload; ++i) a.enqueue(value);
+  return run_throughput(threads, seconds,
+                        [&](int, util::Xorshift128Plus& rng, uint64_t) {
+                          if (rng.next_bounded(2) == 0) {
+                            a.enqueue(value);
+                          } else {
+                            a.dequeue();
+                          }
+                        });
+}
+
+}  // namespace montage::bench

@@ -1,0 +1,74 @@
+// §6.4 recovery-time table: Montage hashmap recovery with 1 KB elements at
+// several data-set sizes, with 1 and 8 recovery threads. The paper reports
+// 0.7 s / 0.4 s for 1 GB and 41.9 s / 13.8 s for 32 GB (1 vs 8 threads);
+// sizes here are scaled by MONTAGE_BENCH_SCALE.
+// Output value = seconds.
+#include <memory>
+
+#include "bench/common.hpp"
+#include "ds/montage_hashmap.hpp"
+
+namespace montage::bench {
+namespace {
+
+using Val = util::InlineStr<1024>;
+
+void run_size(const Config& cfg, uint64_t nelements) {
+  nvm::RegionOptions ropts;
+  ropts.size = std::max<std::size_t>(1ull << 30, nelements * 4096);
+  ropts.mode = nvm::PersistMode::kLatency;
+  ropts.flush_latency_ns = cfg.flush_ns;
+  ropts.fence_latency_ns = cfg.fence_ns;
+  nvm::Region::init_global(ropts);
+  auto ral = std::make_unique<ralloc::Ralloc>(nvm::Region::global(),
+                                              ralloc::Ralloc::Mode::kFresh);
+  ralloc::Ralloc::set_default_instance(ral.get());
+
+  const Val value = make_value<1024>();
+  {
+    EpochSys::Options opts;
+    auto esys = std::make_unique<EpochSys>(ral.get(), opts);
+    EpochSys::set_default_esys(esys.get());
+    ds::MontageHashMap<Key, Val> map(esys.get(), nelements);
+    for (uint64_t i = 0; i < nelements; ++i) map.insert(key_of(i), value);
+    esys->sync();
+    esys->stop_advancer();
+  }
+  const std::string mb =
+      std::to_string(nelements * sizeof(Val) / (1024 * 1024)) + "MB";
+  for (int threads : {1, 8}) {
+    util::Stopwatch sw;
+    auto rec_ral = std::make_unique<ralloc::Ralloc>(
+        nvm::Region::global(), ralloc::Ralloc::Mode::kRecover);
+    EpochSys::Options opts;
+    opts.start_advancer = false;
+    EpochSys esys(rec_ral.get(), opts, /*recover=*/true);
+    auto survivors = esys.recover(threads);
+    ds::MontageHashMap<Key, Val> map(&esys, nelements);
+    map.recover(survivors, threads);
+    emit("sec64", "threads=" + std::to_string(threads), mb, sw.elapsed_s());
+    if (map.size() != nelements) {
+      std::fprintf(stderr, "sec64: recovered %zu of %lu elements\n",
+                   map.size(), static_cast<unsigned long>(nelements));
+    }
+  }
+  ralloc::Ralloc::set_default_instance(nullptr);
+  nvm::Region::destroy_global();
+}
+
+void main_impl() {
+  const Config cfg = Config::from_env();
+  // Paper sweeps 2M-64M elements (1-32 GB); scale down proportionally.
+  const uint64_t base = std::max<uint64_t>(
+      8192, static_cast<uint64_t>(2'000'000 * cfg.scale));
+  for (uint64_t n : {base, base * 2, base * 4}) run_size(cfg, n);
+}
+
+}  // namespace
+}  // namespace montage::bench
+
+int main() {
+  std::printf("figure,series,x,value\n");
+  montage::bench::main_impl();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Example: a persistent game leaderboard on the Montage skip-list map —
+// ordered queries (top-N, score ranges) over durable data, with concurrent
+// score updates and crash recovery.
+//
+// Build & run: ./leaderboard
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "ds/montage_skiplist.hpp"
+#include "nvm/region.hpp"
+#include "util/rand.hpp"
+
+using montage::EpochSys;
+// Key: score (inverted so that range scans from 0 give the top scores).
+using Board = montage::ds::MontageSkipListMap<uint64_t, uint64_t>;
+
+constexpr uint64_t kMaxScore = 1'000'000;
+uint64_t rank_key(uint64_t score) { return kMaxScore - score; }
+uint64_t score_of(uint64_t key) { return kMaxScore - key; }
+
+int main() {
+  montage::nvm::RegionOptions ropts;
+  ropts.size = 128 << 20;
+  ropts.mode = montage::nvm::PersistMode::kTracked;
+  montage::nvm::Region::init_global(ropts);
+  auto* region = montage::nvm::Region::global();
+  auto ral = std::make_unique<montage::ralloc::Ralloc>(
+      region, montage::ralloc::Ralloc::Mode::kFresh);
+  auto esys = std::make_unique<EpochSys>(ral.get(), EpochSys::Options{});
+  auto board = std::make_unique<Board>(esys.get());
+
+  // Concurrent players post scores (value = player id).
+  std::vector<std::thread> players;
+  for (int t = 0; t < 4; ++t) {
+    players.emplace_back([&, t] {
+      montage::util::Xorshift128Plus rng(t + 1);
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t score = rng.next_bounded(kMaxScore);
+        board->put(rank_key(score), static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& p : players) p.join();
+  std::printf("%zu scores posted\n", board->size());
+
+  auto top = board->range(0, kMaxScore);
+  std::printf("top 3:\n");
+  for (int i = 0; i < 3 && i < static_cast<int>(top.size()); ++i) {
+    std::printf("  #%d  score=%lu  player=%lu\n", i + 1,
+                (unsigned long)score_of(top[i].first),
+                (unsigned long)top[i].second);
+  }
+
+  esys->sync();  // season checkpoint: everything so far is durable
+  board->put(rank_key(kMaxScore - 1), 99);  // a last-second cheat... lost!
+
+  esys->stop_advancer();
+  region->simulate_crash();
+  board.reset();
+  esys.reset();
+  ral = std::make_unique<montage::ralloc::Ralloc>(
+      region, montage::ralloc::Ralloc::Mode::kRecover);
+  esys = std::make_unique<EpochSys>(ral.get(), EpochSys::Options{},
+                                    /*recover=*/true);
+  auto survivors = esys->recover(2);
+  board = std::make_unique<Board>(esys.get());
+  board->recover(survivors);
+
+  auto top2 = board->range(0, kMaxScore);
+  std::printf("after crash: %zu scores, top is %lu (cheat entry %s)\n",
+              board->size(), (unsigned long)score_of(top2[0].first),
+              score_of(top2[0].first) == kMaxScore - 1 ? "SURVIVED?!"
+                                                        : "gone, as it should be");
+
+  board.reset();
+  esys.reset();
+  ral.reset();
+  montage::nvm::Region::destroy_global();
+  return 0;
+}

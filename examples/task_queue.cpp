@@ -1,0 +1,84 @@
+// Example: a durable task queue — the classic "ack only after durability"
+// pattern (paper §6.1.2). Producers enqueue jobs and call sync() before
+// acknowledging them to the (imaginary) remote client; consumers process
+// jobs concurrently. After a crash, exactly the acknowledged-but-unprocessed
+// jobs are still in the queue.
+//
+// Build & run: ./task_queue
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "ds/montage_queue.hpp"
+#include "nvm/region.hpp"
+#include "util/inline_str.hpp"
+
+using montage::EpochSys;
+using Job = montage::util::InlineStr<128>;
+using Queue = montage::ds::MontageQueue<Job>;
+
+int main() {
+  montage::nvm::RegionOptions ropts;
+  ropts.size = 64 << 20;
+  ropts.mode = montage::nvm::PersistMode::kTracked;
+  montage::nvm::Region::init_global(ropts);
+  auto* region = montage::nvm::Region::global();
+  auto ral = std::make_unique<montage::ralloc::Ralloc>(
+      region, montage::ralloc::Ralloc::Mode::kFresh);
+  auto esys = std::make_unique<EpochSys>(ral.get(), EpochSys::Options{});
+  auto q = std::make_unique<Queue>(esys.get());
+
+  // A producer enqueues a batch and syncs once for the whole batch — this
+  // is where buffered durable linearizability pays: one sync amortizes over
+  // many operations, like group commit in a database.
+  int acked = 0;
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      q->enqueue(Job("job-" + std::to_string(batch * 10 + i)));
+    }
+    esys->sync();
+    acked += 10;
+    std::printf("batch %d acknowledged (%d jobs durable)\n", batch, acked);
+  }
+
+  // Consumers drain some jobs concurrently.
+  std::thread c1([&] {
+    for (int i = 0; i < 7; ++i) q->dequeue();
+  });
+  std::thread c2([&] {
+    for (int i = 0; i < 5; ++i) q->dequeue();
+  });
+  c1.join();
+  c2.join();
+  esys->sync();  // the 12 completions are durable too
+  std::printf("12 jobs completed and synced; %zu remain\n", q->size());
+
+  // More work lands, is *not* synced, and the machine dies.
+  q->enqueue("job-unacked-1");
+  q->enqueue("job-unacked-2");
+  q->dequeue();  // an unsynced completion: rolls back too
+
+  esys->stop_advancer();
+  region->simulate_crash();
+  q.reset();
+  esys.reset();
+  ral = std::make_unique<montage::ralloc::Ralloc>(
+      region, montage::ralloc::Ralloc::Mode::kRecover);
+  esys = std::make_unique<EpochSys>(ral.get(), EpochSys::Options{},
+                                    /*recover=*/true);
+  auto survivors = esys->recover();
+  q = std::make_unique<Queue>(esys.get());
+  q->recover(survivors);
+
+  std::printf("after crash: %zu jobs (expected 18: 30 acked - 12 done)\n",
+              q->size());
+  std::printf("next job: %s (FIFO order preserved across the crash)\n",
+              q->peek()->c_str());
+
+  q.reset();
+  esys.reset();
+  ral.reset();
+  montage::nvm::Region::destroy_global();
+  return 0;
+}

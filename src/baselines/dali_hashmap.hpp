@@ -1,0 +1,318 @@
+// Reimplementation of the Dalí hashmap (Nawab, Izraelevitz, Kelly, Morrey,
+// Chakrabarti & Scott, DISC'17) — the buffered durably linearizable
+// predecessor whose two-period convention Montage generalizes.
+//
+// Updates prepend versioned records to a bucket's list in NVM with *no*
+// write-back on the critical path; a periodic persist pass writes back every
+// dirty bucket, fences, and then advances and persists the global period.
+// On a crash during period p, records from p and p-1 are discarded —
+// exactly Montage's two-epoch rule, but at whole-structure granularity.
+//
+// The original relied on a privileged flush-the-whole-cache instruction;
+// like Montage (and like our Montage reimplementation), this version tracks
+// to-be-written-back buckets explicitly in software (paper §2). Stale
+// versions are garbage-collected during the persist pass once they are two
+// periods old.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "nvm/region.hpp"
+#include "ralloc/ralloc.hpp"
+#include "util/padded.hpp"
+
+namespace montage::baselines {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class DaliHashMap {
+ public:
+  enum class RecType : uint64_t { kPut = 1, kTombstone = 2 };
+  static constexpr int kRootSlot = 4;  ///< region root publishing the period
+
+  DaliHashMap(ralloc::Ralloc* ral, std::size_t nbuckets,
+              uint64_t period_ns = 10'000'000, bool background = true)
+      : ral_(ral), region_(ral->region()), buckets_(nbuckets) {
+    // Bucket heads and the period counter are durable: they live in NVM.
+    heads_ = static_cast<Rec**>(ral_->allocate(nbuckets * sizeof(Rec*)));
+    std::memset(static_cast<void*>(heads_), 0, nbuckets * sizeof(Rec*));
+    region_->persist_fence(heads_, nbuckets * sizeof(Rec*));
+    for (std::size_t i = 0; i < nbuckets; ++i) buckets_[i].head = &heads_[i];
+    // The period cell is published through a region root so a post-crash
+    // instance can find it (slot 3 belongs to the Friedman queue).
+    auto* root = &region_->root(kRootSlot);
+    const uint64_t off = root->load(std::memory_order_relaxed);
+    if (off == 0) {
+      period_nvm_ = static_cast<std::atomic<uint64_t>*>(
+          ral_->allocate(sizeof(std::atomic<uint64_t>)));
+      period_nvm_->store(2, std::memory_order_relaxed);
+      region_->persist_fence(period_nvm_, sizeof(uint64_t));
+      root->store(static_cast<uint64_t>(
+                      reinterpret_cast<char*>(period_nvm_) - region_->base()),
+                  std::memory_order_release);
+      region_->persist_fence(root, sizeof(*root));
+    } else {
+      period_nvm_ = reinterpret_cast<std::atomic<uint64_t>*>(
+          region_->base() + off);
+      period_.store(period_nvm_->load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      owns_period_cell_ = false;
+    }
+    if (background) {
+      flusher_running_ = true;
+      flusher_ = std::thread([this, period_ns] {
+        while (!stop_.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(period_ns));
+          persist_pass();
+        }
+      });
+    }
+  }
+
+  ~DaliHashMap() {
+    if (flusher_running_) {
+      stop_.store(true, std::memory_order_release);
+      flusher_.join();
+    }
+    for (auto& b : buckets_) {
+      Rec* r = *b.head;
+      while (r != nullptr) {
+        Rec* next = r->next;
+        free_rec(r);
+        r = next;
+      }
+    }
+    ral_->deallocate(heads_);
+    if (owns_period_cell_) ral_->deallocate(period_nvm_);
+  }
+
+  std::optional<V> get(const K& key) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    // Newest record for the key wins; a tombstone means absent.
+    for (Rec* r = (*bkt.head); r != nullptr; r = r->next) {
+      if (r->key == key) {
+        if (r->type == RecType::kTombstone) return std::nullopt;
+        return std::optional<V>(r->val);
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<V> put(const K& key, const V& val) {
+    return upsert(key, val, RecType::kPut);
+  }
+
+  bool insert(const K& key, const V& val) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    for (Rec* r = (*bkt.head); r != nullptr; r = r->next) {
+      if (r->key == key) {
+        if (r->type != RecType::kTombstone) return false;
+        break;
+      }
+    }
+    prepend(bkt, key, val, RecType::kPut);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::optional<V> remove(const K& key) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    for (Rec* r = (*bkt.head); r != nullptr; r = r->next) {
+      if (r->key == key) {
+        if (r->type == RecType::kTombstone) return std::nullopt;
+        std::optional<V> ret(r->val);
+        prepend(bkt, key, V{}, RecType::kTombstone);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return ret;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// One periodic persist: write back every dirty bucket, fence, advance
+  /// and persist the period. GC removes versions superseded for 2 periods.
+  void persist_pass() {
+    std::lock_guard plk(persist_lock_);
+    const uint64_t p = period_.load(std::memory_order_acquire);
+    for (auto& bkt : buckets_) {
+      if (!bkt.dirty.load(std::memory_order_acquire)) continue;
+      std::lock_guard lk(bkt.lock);
+      bkt.dirty.store(false, std::memory_order_relaxed);
+      gc_bucket(bkt, p);
+      for (Rec* r = (*bkt.head); r != nullptr && r->period + 2 > p; r = r->next) {
+        region_->persist(r, sizeof(Rec));
+      }
+      region_->persist(bkt.head, sizeof((*bkt.head)));
+    }
+    region_->fence();
+    period_.store(p + 1, std::memory_order_release);
+    period_nvm_->store(p + 1, std::memory_order_release);
+    region_->persist_fence(period_nvm_, sizeof(uint64_t));
+  }
+
+  uint64_t period() const { return period_.load(std::memory_order_acquire); }
+
+  /// Post-crash rebuild (two-period rule): peruse all blocks, discard
+  /// records labeled with the crash period or the one before, keep the
+  /// newest surviving record per key (a tombstone means absent). `ral`
+  /// must be a fresh Mode::kRecover allocator over the crashed region.
+  void recover() {
+    const uint64_t crash_period =
+        period_nvm_->load(std::memory_order_relaxed);
+    const uint64_t cutoff = crash_period >= 2 ? crash_period - 2 : 0;
+    period_.store(crash_period + 2, std::memory_order_relaxed);
+    period_nvm_->store(crash_period + 2, std::memory_order_relaxed);
+    region_->persist_fence(period_nvm_, sizeof(uint64_t));
+    uint64_t max_seq = 0;
+    std::unordered_map<K, Rec*, Hash> best;
+    ral_->recover_blocks(0, 1, [&](void* blk, std::size_t sz) {
+      if (sz < sizeof(Rec)) return false;
+      auto* r = static_cast<Rec*>(blk);
+      if (r->magic != kRecMagic) return false;
+      if (r->period > cutoff) {
+        r->magic = 0;
+        region_->persist(&r->magic, sizeof(r->magic));
+        return false;  // rolled back: crash period and its predecessor
+      }
+      max_seq = std::max(max_seq, r->seq);
+      auto [it, inserted] = best.try_emplace(r->key, r);
+      if (!inserted) {
+        Rec*& cur = it->second;
+        if (r->seq > cur->seq) std::swap(cur, r);
+        // The superseded version is stale history.
+        r->magic = 0;
+        region_->persist(&r->magic, sizeof(r->magic));
+        ral_->deallocate(r);
+      }
+      return true;
+    });
+    region_->fence();
+    seq_.store(max_seq + 1, std::memory_order_relaxed);
+    for (auto& [key, r] : best) {
+      if (r->type == RecType::kTombstone) {
+        r->magic = 0;
+        region_->persist(&r->magic, sizeof(r->magic));
+        ral_->deallocate(r);
+        continue;
+      }
+      Bucket& bkt = bucket_of(key);
+      r->next = *bkt.head;
+      *bkt.head = r;
+      region_->persist(r, sizeof(Rec));
+      region_->persist(bkt.head, sizeof(Rec*));
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    region_->fence();
+  }
+
+ private:
+  struct Rec {
+    uint64_t magic;  ///< kRecMagic while live; cleared durably at GC
+    uint64_t seq;    ///< global order within a period
+    K key;
+    V val;
+    uint64_t period;
+    RecType type;
+    Rec* next;
+  };
+  static constexpr uint64_t kRecMagic = 0x44414C4952454331ull;  // "DALIREC1"
+  struct alignas(util::kCacheLineSize) Bucket {
+    std::mutex lock;
+    Rec** head = nullptr;  ///< slot in the NVM-resident head array
+    std::atomic<bool> dirty{false};
+  };
+
+  std::optional<V> upsert(const K& key, const V& val, RecType type) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    std::optional<V> old;
+    for (Rec* r = (*bkt.head); r != nullptr; r = r->next) {
+      if (r->key == key) {
+        if (r->type != RecType::kTombstone) old = r->val;
+        break;
+      }
+    }
+    prepend(bkt, key, val, type);
+    if (!old.has_value()) size_.fetch_add(1, std::memory_order_relaxed);
+    return old;
+  }
+
+  void prepend(Bucket& bkt, const K& key, const V& val, RecType type) {
+    void* mem = ral_->allocate(sizeof(Rec));
+    Rec* r = new (mem) Rec();
+    r->magic = kRecMagic;
+    r->seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    r->key = key;
+    r->val = val;
+    r->period = period_.load(std::memory_order_acquire);
+    r->type = type;
+    r->next = (*bkt.head);
+    (*bkt.head) = r;  // no write-back: buffered until the next persist pass
+    bkt.dirty.store(true, std::memory_order_release);
+  }
+
+  /// Drop records superseded by a newer record that is already two periods
+  /// old (safe: a crash can no longer roll the newer record back).
+  void gc_bucket(Bucket& bkt, uint64_t p) {
+    // For each key, keep the newest record and any record the crash rule
+    // might still need (newest with period >= p-1 may roll back).
+    Rec* r = (*bkt.head);
+    while (r != nullptr) {
+      Rec* scan = r->next;
+      Rec* prev = r;
+      while (scan != nullptr) {
+        Rec* next = scan->next;
+        if (scan->key == r->key && r->period + 2 <= p) {
+          // r (newer, same key) is durable: scan is unreachable history.
+          prev->next = next;
+          free_rec(scan);
+        } else {
+          prev = scan;
+        }
+        scan = next;
+      }
+      r = r->next;
+    }
+  }
+
+  void free_rec(Rec* r) {
+    // Durably invalidate so a later crash cannot resurrect this record
+    // (GC runs inside the persist pass, off the critical path; the pass's
+    // fence orders the invalidation).
+    r->magic = 0;
+    region_->persist(&r->magic, sizeof(r->magic));
+    r->~Rec();
+    ral_->deallocate(r);
+  }
+
+  Bucket& bucket_of(const K& key) {
+    return buckets_[Hash{}(key) % buckets_.size()];
+  }
+
+  ralloc::Ralloc* ral_;
+  nvm::Region* region_;
+  std::vector<Bucket> buckets_;
+  Rec** heads_ = nullptr;                      ///< NVM bucket-head array
+  std::atomic<uint64_t>* period_nvm_ = nullptr;  ///< durable period counter
+  std::atomic<uint64_t> period_{2};
+  std::mutex persist_lock_;
+  std::atomic<uint64_t> seq_{1};
+  std::atomic<std::size_t> size_{0};
+  std::thread flusher_;
+  std::atomic<bool> stop_{false};
+  bool flusher_running_ = false;
+  bool owns_period_cell_ = true;
+};
+
+}  // namespace montage::baselines

@@ -1,0 +1,214 @@
+// Reimplementation of the persistent lock-free queue of Friedman, Herlihy,
+// Marathe & Petrank (PPoPP'18) — the paper's strongest special-purpose queue
+// baseline (Fig. 6/8a). A Michael-Scott queue whose nodes live in NVM and
+// are made durable on the operation's critical path:
+//
+//  enqueue: persist the filled node before linking it, persist the
+//           predecessor's next pointer right after the linking CAS, fence;
+//  dequeue: persist the head node's next pointer (which identifies the
+//           removed element) and the dequeue marker before returning, fence.
+//
+// That is strict durable linearizability: roughly two flushes and a fence
+// per operation on the critical path, which is exactly the cost Montage's
+// buffering removes.
+//
+// Nodes are reclaimed through hazard pointers once a persistent head
+// frontier has moved past them; the frontier itself is advanced (and
+// persisted) off the critical path every kFrontierInterval dequeues.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "nvm/region.hpp"
+#include "ralloc/ralloc.hpp"
+#include "util/hazard.hpp"
+
+namespace montage::baselines {
+
+template <typename V>
+class FriedmanQueue {
+ public:
+  static constexpr int kFrontierInterval = 256;
+
+  /// Region root slot publishing the persistent frontier sentinel, so a
+  /// post-crash run can find the queue (slots 0-2 belong to Ralloc/Montage).
+  static constexpr int kRootSlot = 3;
+
+  explicit FriedmanQueue(ralloc::Ralloc* ral)
+      : ral_(ral), region_(ral->region()) {
+    Node* sentinel = alloc_node(V{});
+    region_->persist_fence(sentinel, sizeof(Node));
+    head_.store(sentinel, std::memory_order_relaxed);
+    tail_.store(sentinel, std::memory_order_relaxed);
+    frontier_ = sentinel;
+    publish_frontier(sentinel);
+  }
+
+  struct RecoverTag {};
+
+  /// Rebuild from the persistent image: walk the chain from the published
+  /// frontier, skipping consumed nodes (nonzero dequeue marker) and
+  /// reclaiming them; surviving nodes form the FIFO tail (Friedman et
+  /// al.'s recovery procedure). The caller must have rebuilt `ral` in
+  /// Mode::kRecover and classified blocks as free via recover_blocks —
+  /// or simply never call recover_blocks; the chain keeps its own blocks.
+  FriedmanQueue(ralloc::Ralloc* ral, RecoverTag)
+      : ral_(ral), region_(ral->region()) {
+    auto* root = &region_->root(kRootSlot);
+    Node* sentinel = reinterpret_cast<Node*>(
+        region_->base() + root->load(std::memory_order_relaxed));
+    // Skip consumed nodes: the frontier may lag the pre-crash head.
+    Node* first = sentinel;
+    Node* next = first->next.load(std::memory_order_relaxed);
+    while (next != nullptr &&
+           next->deq_tid.load(std::memory_order_relaxed) != 0) {
+      first = next;
+      next = first->next.load(std::memory_order_relaxed);
+    }
+    head_.store(first, std::memory_order_relaxed);
+    Node* last = first;
+    while (Node* n = last->next.load(std::memory_order_relaxed)) last = n;
+    tail_.store(last, std::memory_order_relaxed);
+    frontier_ = sentinel;
+    publish_frontier(first);
+  }
+
+  ~FriedmanQueue() {
+    util::HazardDomain::global().flush();
+    Node* n = frontier_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      ral_->deallocate(n);
+      n = next;
+    }
+  }
+
+  void enqueue(const V& val) {
+    Node* node = alloc_node(val);
+    // Persist the node's contents before it becomes reachable.
+    region_->persist(node, sizeof(Node));
+    auto& hd = util::HazardDomain::global();
+    while (true) {
+      Node* last = static_cast<Node*>(
+          hd.protect(0, tail_.load(std::memory_order_acquire)));
+      if (last != tail_.load(std::memory_order_acquire)) continue;
+      Node* next = last->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        Node* expected = nullptr;
+        if (last->next.compare_exchange_strong(expected, node,
+                                               std::memory_order_acq_rel)) {
+          // Linearized: persist the link, then order it before returning.
+          region_->persist(&last->next, sizeof(last->next));
+          region_->fence();
+          tail_.compare_exchange_strong(last, node,
+                                        std::memory_order_acq_rel);
+          hd.clear(0);
+          return;
+        }
+      } else {
+        // Help: the link must be durable before the tail moves past it.
+        region_->persist(&last->next, sizeof(last->next));
+        tail_.compare_exchange_strong(last, next, std::memory_order_acq_rel);
+      }
+    }
+  }
+
+  std::optional<V> dequeue() {
+    auto& hd = util::HazardDomain::global();
+    while (true) {
+      Node* first = static_cast<Node*>(
+          hd.protect(0, head_.load(std::memory_order_acquire)));
+      if (first != head_.load(std::memory_order_acquire)) continue;
+      Node* last = tail_.load(std::memory_order_acquire);
+      Node* next = static_cast<Node*>(
+          hd.protect(1, first->next.load(std::memory_order_acquire)));
+      if (first != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        hd.clear_all();
+        return std::nullopt;
+      }
+      if (first == last) {
+        region_->persist(&last->next, sizeof(last->next));
+        tail_.compare_exchange_strong(last, next, std::memory_order_acq_rel);
+        continue;
+      }
+      V val = next->value;
+      if (head_.compare_exchange_strong(first, next,
+                                        std::memory_order_acq_rel)) {
+        // Persist the dequeue: the consumed marker identifies the element
+        // as taken (Friedman et al. record the dequeuing thread id).
+        next->deq_tid.store(1, std::memory_order_release);
+        region_->persist(&next->deq_tid, sizeof(next->deq_tid));
+        region_->fence();
+        maybe_advance_frontier();
+        hd.clear_all();
+        return std::optional<V>(std::move(val));
+      }
+    }
+  }
+
+  bool empty() {
+    Node* first = head_.load(std::memory_order_acquire);
+    return first->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    V value{};
+    std::atomic<Node*> next{nullptr};
+    std::atomic<uint64_t> deq_tid{0};  ///< nonzero once consumed
+  };
+
+  Node* alloc_node(const V& v) {
+    void* mem = ral_->allocate(sizeof(Node));
+    Node* n = new (mem) Node();
+    n->value = v;
+    return n;
+  }
+
+  void publish_frontier(Node* n) {
+    auto* root = &region_->root(kRootSlot);
+    root->store(static_cast<uint64_t>(reinterpret_cast<char*>(n) -
+                                      region_->base()),
+                std::memory_order_release);
+    region_->persist_fence(root, sizeof(*root));
+  }
+
+  /// Move the persistent reclamation frontier up to the current head and
+  /// retire everything before it (cold path).
+  void maybe_advance_frontier() {
+    if (deq_count_.fetch_add(1, std::memory_order_relaxed) %
+            kFrontierInterval !=
+        kFrontierInterval - 1) {
+      return;
+    }
+    std::lock_guard lk(frontier_mutex_);
+    Node* stop = head_.load(std::memory_order_acquire);
+    Node* n = frontier_;
+    if (n == stop) return;
+    frontier_ = stop;
+    publish_frontier(stop);
+    auto& hd = util::HazardDomain::global();
+    while (n != stop) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      hd.retire(n, [ral = ral_](void* p) {
+        static_cast<Node*>(p)->~Node();
+        ral->deallocate(p);
+      });
+      n = next;
+    }
+  }
+
+  ralloc::Ralloc* ral_;
+  nvm::Region* region_;
+  std::atomic<Node*> head_;
+  std::atomic<Node*> tail_;
+  Node* frontier_;  ///< all nodes before this are retired
+  std::mutex frontier_mutex_;
+  std::atomic<uint64_t> deq_count_{0};
+};
+
+}  // namespace montage::baselines

@@ -1,0 +1,415 @@
+// Reimplementation of Mnemosyne (Volos, Tack & Swift, ASPLOS'11): the
+// pioneering general-purpose persistent-memory system, built as durable
+// transactions over a word-based software transactional memory (the
+// original extends TinySTM; this version is a TL2-style STM with the same
+// durability pipeline).
+//
+// Commit path (per transaction):
+//   1. acquire versioned stripe locks for the write set, validate reads;
+//   2. write a redo log of (address, value) words to NVM, flush, fence;
+//   3. persist the commit marker, fence;
+//   4. apply the writes in place in NVM, flush each, fence;
+//   5. clear the commit marker.
+//
+// Every mutating operation therefore pays two ordered log flushes plus an
+// in-place flush per written word — with 1 KB values that is >128 logged
+// words per update, which is why Mnemosyne trails Montage by roughly two
+// orders of magnitude in the paper's figures (Figs. 6-8).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "nvm/region.hpp"
+#include "ralloc/ralloc.hpp"
+#include "util/padded.hpp"
+#include "util/threadid.hpp"
+
+namespace montage::baselines {
+
+struct TxAbort {};
+
+class Mnemosyne {
+  struct alignas(util::kCacheLineSize) Padded64 {
+    std::atomic<uint64_t> v{0};  // (version << 1) | locked
+  };
+
+ public:
+  static constexpr int kStripes = 1 << 12;
+  static constexpr std::size_t kLogWords = 1 << 12;
+
+  explicit Mnemosyne(ralloc::Ralloc* ral)
+      : ral_(ral), region_(ral->region()) {
+    for (auto& l : locks_) l.v.store(0, std::memory_order_relaxed);
+    for (int t = 0; t < util::ThreadIdPool::kMaxThreads; ++t) {
+      logs_[t] = nullptr;  // lazily allocated per thread
+    }
+  }
+
+  class Tx {
+   public:
+    explicit Tx(Mnemosyne* stm) : stm_(stm) {
+      rv_ = stm_->clock_.load(std::memory_order_acquire);
+    }
+
+    uint64_t read_word(const uint64_t* addr) {
+      if (auto it = writes_.find(addr); it != writes_.end()) {
+        return it->second;
+      }
+      auto& lock = stm_->stripe_of(addr);
+      uint64_t v1 = lock.v.load(std::memory_order_acquire);
+      uint64_t val = reinterpret_cast<const std::atomic<uint64_t>*>(addr)
+                         ->load(std::memory_order_acquire);
+      uint64_t v2 = lock.v.load(std::memory_order_acquire);
+      if ((v1 & 1) != 0 || v1 != v2 || (v1 >> 1) > rv_) throw TxAbort{};
+      reads_.emplace_back(&lock, v1);
+      return val;
+    }
+
+    void write_word(uint64_t* addr, uint64_t val) { writes_[addr] = val; }
+
+    void read_bytes(const void* addr, void* out, std::size_t n) {
+      auto* src = static_cast<const uint64_t*>(addr);
+      auto* dst = static_cast<uint64_t*>(out);
+      for (std::size_t i = 0; i < (n + 7) / 8; ++i) dst[i] = read_word(src + i);
+    }
+
+    void write_bytes(void* addr, const void* in, std::size_t n) {
+      auto* dst = static_cast<uint64_t*>(addr);
+      const auto* src = static_cast<const uint64_t*>(in);
+      for (std::size_t i = 0; i < (n + 7) / 8; ++i) write_word(dst + i, src[i]);
+    }
+
+    /// Register memory allocated inside the transaction (freed on abort).
+    void track_alloc(void* p) { allocs_.push_back(p); }
+
+   private:
+    friend class Mnemosyne;
+    Mnemosyne* stm_;
+    uint64_t rv_;
+    std::vector<std::pair<Padded64*, uint64_t>> reads_;
+    std::map<const uint64_t*, uint64_t> writes_;  // sorted: lock order
+    std::vector<void*> allocs_;
+  };
+
+  /// Run `fn(tx)` as a durable transaction, retrying on conflicts.
+  template <typename Fn>
+  auto run(Fn&& fn) {
+    uint64_t attempts = 0;
+    while (true) {
+      Tx tx(this);
+      try {
+        if constexpr (std::is_void_v<decltype(fn(tx))>) {
+          fn(tx);
+          commit(tx);
+          return;
+        } else {
+          auto ret = fn(tx);
+          commit(tx);
+          return ret;
+        }
+      } catch (const TxAbort&) {
+        for (void* p : tx.allocs_) ral_->deallocate(p);
+        // Bounded exponential backoff; yield so a lock-holding peer that
+        // was preempted mid-commit can finish.
+        if (++attempts > 2) std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  friend class Tx;
+
+  struct LogHeader {
+    uint64_t count;
+    uint64_t committed;
+  };
+
+  Padded64& stripe_of(const void* addr) {
+    return locks_[(reinterpret_cast<uintptr_t>(addr) >> 3) % kStripes];
+  }
+
+  uint64_t* my_log() {
+    const int t = util::thread_id();
+    if (logs_[t] == nullptr) {
+      logs_[t] = static_cast<uint64_t*>(
+          ral_->allocate(sizeof(LogHeader) + kLogWords * 16));
+      auto* h = reinterpret_cast<LogHeader*>(logs_[t]);
+      h->count = 0;
+      h->committed = 0;
+      region_->persist_fence(h, sizeof(LogHeader));
+    }
+    return logs_[t];
+  }
+
+  void commit(Tx& tx) {
+    if (tx.writes_.empty()) return;  // read-only: validation was inline
+    // 1. Lock the write set (sorted by address: deadlock-free) and bump
+    //    the clock; validate the read set.
+    std::vector<Padded64*> held;
+    held.reserve(tx.writes_.size());
+    auto release_all = [&](bool bump) {
+      const uint64_t wv = bump
+          ? clock_.fetch_add(1, std::memory_order_acq_rel) + 1
+          : 0;
+      for (Padded64* l : held) {
+        const uint64_t cur = l->v.load(std::memory_order_relaxed);
+        l->v.store(bump ? (wv << 1) : (cur & ~1ull),
+                   std::memory_order_release);
+      }
+    };
+    // Deduplicate stripes (a large write set aliases stripes freely) and
+    // lock in pointer order — globally consistent, hence deadlock-free.
+    std::vector<Padded64*> stripes;
+    stripes.reserve(tx.writes_.size());
+    for (auto& [addr, val] : tx.writes_) stripes.push_back(&stripe_of(addr));
+    std::sort(stripes.begin(), stripes.end());
+    stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+    for (Padded64* l : stripes) {
+      uint64_t cur = l->v.load(std::memory_order_acquire);
+      if ((cur & 1) != 0 || (cur >> 1) > tx.rv_ ||
+          !l->v.compare_exchange_strong(cur, cur | 1,
+                                        std::memory_order_acq_rel)) {
+        release_all(false);
+        throw TxAbort{};
+      }
+      held.push_back(l);
+    }
+    for (auto& [lock, ver] : tx.reads_) {
+      const uint64_t cur = lock->v.load(std::memory_order_acquire);
+      const bool we_hold =
+          std::find(held.begin(), held.end(), lock) != held.end();
+      if (cur != ver && !(we_hold && (cur & ~1ull) == (ver & ~1ull))) {
+        release_all(false);
+        throw TxAbort{};
+      }
+    }
+    // 2. Durable redo log: (addr, value) word pairs, flushed and fenced.
+    uint64_t* log = my_log();
+    auto* h = reinterpret_cast<LogHeader*>(log);
+    uint64_t* slots = log + 2;
+    std::size_t i = 0;
+    for (auto& [addr, val] : tx.writes_) {
+      if (i + 2 > kLogWords * 2) break;  // oversized tx: log prefix suffices
+      slots[i++] = reinterpret_cast<uint64_t>(addr);
+      slots[i++] = val;
+    }
+    h->count = i / 2;
+    region_->persist(log, sizeof(LogHeader) + i * 8);
+    region_->fence();
+    // 3. Commit marker.
+    h->committed = 1;
+    region_->persist(&h->committed, sizeof(uint64_t));
+    region_->fence();
+    // 4. In-place writes, each flushed.
+    for (auto& [addr, val] : tx.writes_) {
+      reinterpret_cast<std::atomic<uint64_t>*>(const_cast<uint64_t*>(addr))
+          ->store(val, std::memory_order_release);
+      region_->persist(addr, 8);
+    }
+    region_->fence();
+    // 5. Retire the log and release the stripes at the new version.
+    h->committed = 0;
+    region_->persist(&h->committed, sizeof(uint64_t));
+    release_all(true);
+  }
+
+  ralloc::Ralloc* ral_;
+  nvm::Region* region_;
+  std::atomic<uint64_t> clock_{0};
+  Padded64 locks_[kStripes];
+  uint64_t* logs_[util::ThreadIdPool::kMaxThreads];
+};
+
+/// Hashmap whose nodes live in NVM and are accessed only through Mnemosyne
+/// transactions.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class MnemosyneHashMap {
+  static_assert(sizeof(K) % 8 == 0 && sizeof(V) % 8 == 0,
+                "word-based STM requires 8-byte-multiple key/value sizes");
+
+ public:
+  MnemosyneHashMap(ralloc::Ralloc* ral, std::size_t nbuckets)
+      : ral_(ral), stm_(ral), nbuckets_(nbuckets) {
+    // The whole structure (bucket words included) lives in NVM; the STM
+    // persists every word it commits.
+    buckets_ = static_cast<uint64_t*>(ral_->allocate(nbuckets * 8));
+    std::memset(buckets_, 0, nbuckets * 8);
+    ral->region()->persist_fence(buckets_, nbuckets * 8);
+  }
+
+  ~MnemosyneHashMap() {
+    for (std::size_t i = 0; i < nbuckets_; ++i) {
+      Node* n = reinterpret_cast<Node*>(buckets_[i]);
+      while (n != nullptr) {
+        Node* next = reinterpret_cast<Node*>(n->next);
+        ral_->deallocate(n);
+        n = next;
+      }
+    }
+    ral_->deallocate(buckets_);
+  }
+
+  std::optional<V> get(const K& key) {
+    return stm_.run([&](Mnemosyne::Tx& tx) -> std::optional<V> {
+      uint64_t cur = tx.read_word(bucket_word(key));
+      while (cur != 0) {
+        Node* n = reinterpret_cast<Node*>(cur);
+        K k;
+        tx.read_bytes(&n->key, &k, sizeof(K));
+        if (k == key) {
+          V v;
+          tx.read_bytes(&n->val, &v, sizeof(V));
+          return v;
+        }
+        cur = tx.read_word(&n->next);
+      }
+      return std::nullopt;
+    });
+  }
+
+  std::optional<V> put(const K& key, const V& val) {
+    return stm_.run([&](Mnemosyne::Tx& tx) -> std::optional<V> {
+      uint64_t cur = tx.read_word(bucket_word(key));
+      while (cur != 0) {
+        Node* n = reinterpret_cast<Node*>(cur);
+        K k;
+        tx.read_bytes(&n->key, &k, sizeof(K));
+        if (k == key) {
+          V old;
+          tx.read_bytes(&n->val, &old, sizeof(V));
+          tx.write_bytes(&n->val, &val, sizeof(V));
+          return old;
+        }
+        cur = tx.read_word(&n->next);
+      }
+      Node* fresh = static_cast<Node*>(ral_->allocate(sizeof(Node)));
+      tx.track_alloc(fresh);
+      tx.write_bytes(&fresh->key, &key, sizeof(K));
+      tx.write_bytes(&fresh->val, &val, sizeof(V));
+      tx.write_word(&fresh->next, tx.read_word(bucket_word(key)));
+      tx.write_word(bucket_word(key), reinterpret_cast<uint64_t>(fresh));
+      return std::nullopt;
+    });
+  }
+
+  bool insert(const K& key, const V& val) {
+    return !get(key).has_value() && !put(key, val).has_value();
+  }
+
+  std::optional<V> remove(const K& key) {
+    return stm_.run([&](Mnemosyne::Tx& tx) -> std::optional<V> {
+      uint64_t* prev_link = bucket_word(key);
+      uint64_t cur = tx.read_word(prev_link);
+      while (cur != 0) {
+        Node* n = reinterpret_cast<Node*>(cur);
+        K k;
+        tx.read_bytes(&n->key, &k, sizeof(K));
+        if (k == key) {
+          V old;
+          tx.read_bytes(&n->val, &old, sizeof(V));
+          tx.write_word(prev_link, tx.read_word(&n->next));
+          return old;
+        }
+        prev_link = &n->next;
+        cur = tx.read_word(prev_link);
+      }
+      return std::nullopt;
+    });
+  }
+
+ private:
+  struct Node {
+    K key;
+    V val;
+    uint64_t next;
+  };
+
+  uint64_t* bucket_word(const K& key) {
+    return &buckets_[Hash{}(key) % nbuckets_];
+  }
+
+  ralloc::Ralloc* ral_;
+  Mnemosyne stm_;
+  std::size_t nbuckets_;
+  uint64_t* buckets_;  // NVM-resident bucket words
+};
+
+/// FIFO queue over Mnemosyne transactions (linked list with head/tail).
+template <typename V>
+class MnemosyneQueue {
+  static_assert(sizeof(V) % 8 == 0,
+                "word-based STM requires 8-byte-multiple value sizes");
+
+ public:
+  explicit MnemosyneQueue(ralloc::Ralloc* ral) : ral_(ral), stm_(ral) {
+    roots_ = static_cast<uint64_t*>(ral_->allocate(16));
+    roots_[0] = 0;  // head
+    roots_[1] = 0;  // tail
+    ral->region()->persist_fence(roots_, 16);
+  }
+
+  ~MnemosyneQueue() {
+    Node* n = reinterpret_cast<Node*>(roots_[0]);
+    while (n != nullptr) {
+      Node* next = reinterpret_cast<Node*>(n->next);
+      ral_->deallocate(n);
+      n = next;
+    }
+    ral_->deallocate(roots_);
+  }
+
+  void enqueue(const V& val) {
+    stm_.run([&](Mnemosyne::Tx& tx) {
+      Node* fresh = static_cast<Node*>(ral_->allocate(sizeof(Node)));
+      tx.track_alloc(fresh);
+      tx.write_bytes(&fresh->val, &val, sizeof(V));
+      tx.write_word(&fresh->next, 0);
+      const uint64_t tail = tx.read_word(tail_word());
+      if (tail == 0) {
+        tx.write_word(head_word(), reinterpret_cast<uint64_t>(fresh));
+      } else {
+        tx.write_word(&reinterpret_cast<Node*>(tail)->next,
+                      reinterpret_cast<uint64_t>(fresh));
+      }
+      tx.write_word(tail_word(), reinterpret_cast<uint64_t>(fresh));
+    });
+  }
+
+  std::optional<V> dequeue() {
+    Node* victim = nullptr;
+    auto ret = stm_.run([&](Mnemosyne::Tx& tx) -> std::optional<V> {
+      const uint64_t head = tx.read_word(head_word());
+      if (head == 0) return std::nullopt;
+      Node* n = reinterpret_cast<Node*>(head);
+      V v;
+      tx.read_bytes(&n->val, &v, sizeof(V));
+      const uint64_t next = tx.read_word(&n->next);
+      tx.write_word(head_word(), next);
+      if (next == 0) tx.write_word(tail_word(), 0);
+      victim = n;
+      return v;
+    });
+    if (ret.has_value() && victim != nullptr) ral_->deallocate(victim);
+    return ret;
+  }
+
+ private:
+  struct Node {
+    V val;
+    uint64_t next;
+  };
+  uint64_t* head_word() { return &roots_[0]; }
+  uint64_t* tail_word() { return &roots_[1]; }
+
+  ralloc::Ralloc* ral_;
+  Mnemosyne stm_;
+  uint64_t* roots_;  // NVM-resident (head, tail) cell
+};
+
+}  // namespace montage::baselines

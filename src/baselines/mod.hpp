@@ -1,0 +1,290 @@
+// Reimplementation of MOD — Minimally Ordered Durable data structures
+// (Haria, Hill & Swift, ASPLOS'20) — built from purely functional
+// ("history-preserving") nodes so that each update becomes visible and
+// durable through a single pointer store:
+//
+//   1. build the new version: freshly allocated immutable nodes sharing the
+//      unchanged suffix with the old version;
+//   2. persist the new nodes and fence;
+//   3. swing the root pointer, persist it, fence.
+//
+// The hashmap follows the paper's ICPP'21 evaluation configuration: a
+// per-bucket lock over a MOD linked list (lower time complexity than the
+// original CHAMP trie). The queue is the classic two-list functional queue;
+// its occasional O(n) reversal — every node of which must be flushed — is
+// the reason MOD queues trail Montage by orders of magnitude (Fig. 6).
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "nvm/region.hpp"
+#include "ralloc/ralloc.hpp"
+#include "util/padded.hpp"
+
+namespace montage::baselines {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ModHashMap {
+ public:
+  ModHashMap(ralloc::Ralloc* ral, std::size_t nbuckets)
+      : ral_(ral), region_(ral->region()), buckets_(nbuckets) {
+    // The root pointers are themselves durable state: they live in NVM.
+    roots_ = static_cast<Node**>(ral_->allocate(nbuckets * sizeof(Node*)));
+    std::memset(static_cast<void*>(roots_), 0, nbuckets * sizeof(Node*));
+    region_->persist_fence(roots_, nbuckets * sizeof(Node*));
+    for (std::size_t i = 0; i < nbuckets; ++i) buckets_[i].root = &roots_[i];
+  }
+
+  ~ModHashMap() {
+    for (auto& b : buckets_) {
+      free_list(*b.root);
+      for (Node* n : b.garbage) free_one(n);
+    }
+    ral_->deallocate(roots_);
+  }
+
+  std::optional<V> get(const K& key) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    for (Node* n = (*bkt.root); n != nullptr; n = n->next) {
+      if (n->key == key) return std::optional<V>(n->val);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<V> put(const K& key, const V& val) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    std::optional<V> old;
+    Node* suffix = (*bkt.root);
+    std::vector<Node*> prefix;  // nodes to copy (up to and incl. the match)
+    for (Node* n = (*bkt.root); n != nullptr; n = n->next) {
+      if (n->key == key) {
+        old = n->val;
+        suffix = n->next;  // replaced node is not carried over
+        break;
+      }
+      prefix.push_back(n);
+      suffix = n->next;
+    }
+    // Build the new version back-to-front, flushing each fresh node.
+    Node* head = make_node(key, val, old.has_value() ? suffix : (*bkt.root));
+    if (old.has_value()) {
+      for (auto it = prefix.rbegin(); it != prefix.rend(); ++it) {
+        head = make_node((*it)->key, (*it)->val, head);
+      }
+    }
+    region_->fence();  // new version durable before it becomes reachable
+    install(bkt, head, old.has_value() ? prefix.size() + 1 : 0);
+    return old;
+  }
+
+  std::optional<V> remove(const K& key) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    std::optional<V> old;
+    std::vector<Node*> prefix;
+    Node* suffix = nullptr;
+    for (Node* n = (*bkt.root); n != nullptr; n = n->next) {
+      if (n->key == key) {
+        old = n->val;
+        suffix = n->next;
+        break;
+      }
+      prefix.push_back(n);
+    }
+    if (!old.has_value()) return std::nullopt;
+    Node* head = suffix;
+    for (auto it = prefix.rbegin(); it != prefix.rend(); ++it) {
+      head = make_node((*it)->key, (*it)->val, head);
+    }
+    if (!prefix.empty()) region_->fence();
+    install(bkt, head, prefix.size() + 1);
+    return old;
+  }
+
+  bool insert(const K& key, const V& val) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    for (Node* n = (*bkt.root); n != nullptr; n = n->next) {
+      if (n->key == key) return false;
+    }
+    Node* head = make_node(key, val, (*bkt.root));
+    region_->fence();
+    install(bkt, head, 0);
+    return true;
+  }
+
+ private:
+  struct Node {
+    K key;
+    V val;
+    Node* next;  // immutable after construction
+  };
+  struct alignas(util::kCacheLineSize) Bucket {
+    std::mutex lock;
+    Node** root = nullptr;  ///< slot in the NVM-resident root array
+    std::vector<Node*> garbage;  ///< superseded nodes; freed on next update
+  };
+
+  Node* make_node(const K& k, const V& v, Node* next) {
+    void* mem = ral_->allocate(sizeof(Node));
+    Node* n = new (mem) Node{k, v, next};
+    region_->persist(n, sizeof(Node));
+    return n;
+  }
+
+  /// Swing the (persistent) root; the old version's replaced prefix becomes
+  /// garbage once the root is durable.
+  void install(Bucket& bkt, Node* head, std::size_t replaced) {
+    // Retire last round's garbage: the root that referenced it is gone.
+    for (Node* n : bkt.garbage) free_one(n);
+    bkt.garbage.clear();
+    Node* old_root = (*bkt.root);
+    (*bkt.root) = head;
+    region_->persist(bkt.root, sizeof((*bkt.root)));
+    region_->fence();
+    Node* n = old_root;
+    for (std::size_t i = 0; i < replaced && n != nullptr; ++i) {
+      bkt.garbage.push_back(n);
+      n = n->next;
+    }
+  }
+
+  void free_one(Node* n) {
+    n->~Node();
+    ral_->deallocate(n);
+  }
+  void free_list(Node* n) {
+    while (n != nullptr) {
+      Node* next = n->next;
+      free_one(n);
+      n = next;
+    }
+  }
+
+  Bucket& bucket_of(const K& key) {
+    return buckets_[Hash{}(key) % buckets_.size()];
+  }
+
+  ralloc::Ralloc* ral_;
+  nvm::Region* region_;
+  std::vector<Bucket> buckets_;
+  Node** roots_ = nullptr;  ///< NVM array of bucket roots
+};
+
+/// MOD functional queue: two immutable lists (front, back). enqueue pushes
+/// onto back; dequeue pops front, reversing back into front when front runs
+/// dry — every node of the reversal is a fresh allocation that must be
+/// flushed before the root swings.
+template <typename V>
+class ModQueue {
+ public:
+  explicit ModQueue(ralloc::Ralloc* ral)
+      : ral_(ral), region_(ral->region()) {
+    // Durable root cell (front, back) lives in NVM.
+    auto* cell = static_cast<Node**>(ral_->allocate(2 * sizeof(Node*)));
+    cell[0] = nullptr;
+    cell[1] = nullptr;
+    region_->persist_fence(cell, 2 * sizeof(Node*));
+    front_ = &cell[0];
+    back_ = &cell[1];
+  }
+
+  ~ModQueue() {
+    free_list((*front_));
+    free_list((*back_));
+    for (Node* n : garbage_) free_one(n);
+    ral_->deallocate(front_);
+  }
+
+  void enqueue(const V& val) {
+    std::lock_guard lk(lock_);
+    Node* n = make_node(val, (*back_));
+    region_->fence();
+    (*back_) = n;
+    persist_roots();
+  }
+
+  std::optional<V> dequeue() {
+    std::lock_guard lk(lock_);
+    collect_garbage();
+    if ((*front_) == nullptr) {
+      if ((*back_) == nullptr) return std::nullopt;
+      // Reverse back into front: O(n) fresh persistent nodes.
+      Node* rev = nullptr;
+      for (Node* n = (*back_); n != nullptr; n = n->next) {
+        rev = make_node(n->val, rev);
+      }
+      region_->fence();
+      for (Node* n = (*back_); n != nullptr;) {
+        Node* next = n->next;
+        garbage_.push_back(n);
+        n = next;
+      }
+      (*back_) = nullptr;
+      (*front_) = rev;
+      persist_roots();
+    }
+    Node* head = (*front_);
+    std::optional<V> ret(head->val);
+    (*front_) = head->next;
+    persist_roots();
+    garbage_.push_back(head);
+    return ret;
+  }
+
+  bool empty() {
+    std::lock_guard lk(lock_);
+    return (*front_) == nullptr && (*back_) == nullptr;
+  }
+
+ private:
+  struct Node {
+    V val;
+    Node* next;
+  };
+
+  Node* make_node(const V& v, Node* next) {
+    void* mem = ral_->allocate(sizeof(Node));
+    Node* n = new (mem) Node{v, next};
+    region_->persist(n, sizeof(Node));
+    return n;
+  }
+
+  void persist_roots() {
+    region_->persist(front_, sizeof((*front_)));
+    region_->persist(back_, sizeof((*back_)));
+    region_->fence();
+  }
+
+  void collect_garbage() {
+    for (Node* n : garbage_) free_one(n);
+    garbage_.clear();
+  }
+
+  void free_one(Node* n) {
+    n->~Node();
+    ral_->deallocate(n);
+  }
+  void free_list(Node* n) {
+    while (n != nullptr) {
+      Node* next = n->next;
+      free_one(n);
+      n = next;
+    }
+  }
+
+  std::mutex lock_;
+  Node** front_ = nullptr;  ///< slot in the NVM root cell
+  Node** back_ = nullptr;   ///< slot in the NVM root cell
+  std::vector<Node*> garbage_;
+  ralloc::Ralloc* ral_;
+  nvm::Region* region_;
+};
+
+}  // namespace montage::baselines

@@ -1,0 +1,185 @@
+// NVTraverse-style hashmap (Friedman, Ben-David, Wei, Blelloch & Petrank,
+// PLDI'20): the general transformation that makes a "traversal data
+// structure" durable. Its rule, applied to a bucket list:
+//
+//  * the traversal itself performs no persistence;
+//  * before an update's linearizing store, the *critical suffix* of the
+//    traversal (the nodes the update depends on: pred and curr) is written
+//    back and fenced;
+//  * after the store, the modified pointer/node is written back and fenced;
+//  * reads also write back the node they return (plus a fence) — another
+//    thread may have observed the unpersisted value, so the read must make
+//    it durable before acting on it. This read-side fence is why NVTraverse
+//    keeps up with Montage at low thread counts but falls behind as flush
+//    bandwidth saturates (paper §6.1).
+//
+// Nodes AND the bucket-head array live in NVM (the heads are part of the
+// durable structure); only the lock array is transient. Per-bucket locking,
+// as in every baseline here (see soft_hashmap.hpp for the rationale).
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "nvm/region.hpp"
+#include "ralloc/ralloc.hpp"
+#include "util/padded.hpp"
+
+namespace montage::baselines {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class NvTraverseHashMap {
+ public:
+  NvTraverseHashMap(ralloc::Ralloc* ral, std::size_t nbuckets)
+      : ral_(ral),
+        region_(ral->region()),
+        nbuckets_(nbuckets),
+        locks_(std::make_unique<util::Padded<std::mutex>[]>(nbuckets)) {
+    heads_ = static_cast<Node**>(ral_->allocate(nbuckets * sizeof(Node*)));
+    std::memset(static_cast<void*>(heads_), 0, nbuckets * sizeof(Node*));
+    region_->persist_fence(heads_, nbuckets * sizeof(Node*));
+  }
+
+  ~NvTraverseHashMap() {
+    for (std::size_t i = 0; i < nbuckets_; ++i) {
+      Node* n = heads_[i];
+      while (n != nullptr) {
+        Node* next = n->next;
+        free_node(n);
+        n = next;
+      }
+    }
+    ral_->deallocate(heads_);
+  }
+
+  std::optional<V> get(const K& key) {
+    const std::size_t idx = bucket_of(key);
+    std::lock_guard lk(*locks_[idx]);
+    for (Node* n = heads_[idx]; n != nullptr; n = n->next) {
+      if (n->key == key) {
+        // Read-side persistence: make the observed node durable before
+        // returning it (NVTraverse's ensureReachable step).
+        region_->persist(n, sizeof(Node));
+        region_->fence();
+        return std::optional<V>(n->val);
+      }
+      if (n->key > key) break;
+    }
+    return std::nullopt;
+  }
+
+  bool insert(const K& key, const V& val) {
+    const std::size_t idx = bucket_of(key);
+    Node* fresh = alloc_node(key, val);
+    std::lock_guard lk(*locks_[idx]);
+    if (!link_new(idx, fresh, /*allow_existing=*/false)) {
+      free_node(fresh);
+      return false;
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::optional<V> put(const K& key, const V& val) {
+    const std::size_t idx = bucket_of(key);
+    std::lock_guard lk(*locks_[idx]);
+    for (Node* n = heads_[idx]; n != nullptr; n = n->next) {
+      if (n->key == key) {
+        std::optional<V> ret(n->val);
+        region_->persist(n, sizeof(Node));
+        region_->fence();
+        n->val = val;
+        region_->persist(n, sizeof(Node));
+        region_->fence();
+        return ret;
+      }
+      if (n->key > key) break;
+    }
+    Node* fresh = alloc_node(key, val);
+    link_new(idx, fresh, /*allow_existing=*/false);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  std::optional<V> remove(const K& key) {
+    const std::size_t idx = bucket_of(key);
+    std::lock_guard lk(*locks_[idx]);
+    Node* prev = nullptr;
+    Node* curr = heads_[idx];
+    while (curr != nullptr && curr->key < key) {
+      prev = curr;
+      curr = curr->next;
+    }
+    if (curr == nullptr || !(curr->key == key)) return std::nullopt;
+    std::optional<V> ret(curr->val);
+    // Critical suffix durable before unlinking, changed pointer after.
+    region_->persist(curr, sizeof(Node));
+    if (prev != nullptr) region_->persist(prev, sizeof(Node));
+    region_->fence();
+    Node** link = prev == nullptr ? &heads_[idx] : &prev->next;
+    *link = curr->next;
+    region_->persist(link, sizeof(Node*));
+    region_->fence();
+    free_node(curr);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return ret;
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    K key;
+    V val;
+    Node* next = nullptr;
+  };
+
+  /// Sorted-position link of a fresh node; caller holds the bucket lock.
+  bool link_new(std::size_t idx, Node* fresh, bool allow_existing) {
+    Node* prev = nullptr;
+    Node* curr = heads_[idx];
+    while (curr != nullptr && curr->key < fresh->key) {
+      prev = curr;
+      curr = curr->next;
+    }
+    if (!allow_existing && curr != nullptr && curr->key == fresh->key) {
+      return false;
+    }
+    fresh->next = curr;
+    region_->persist(fresh, sizeof(Node));
+    if (prev != nullptr) region_->persist(prev, sizeof(Node));
+    region_->fence();
+    Node** link = prev == nullptr ? &heads_[idx] : &prev->next;
+    *link = fresh;
+    region_->persist(link, sizeof(Node*));
+    region_->fence();
+    return true;
+  }
+
+  Node* alloc_node(const K& k, const V& v) {
+    void* mem = ral_->allocate(sizeof(Node));
+    Node* n = new (mem) Node();
+    n->key = k;
+    n->val = v;
+    return n;
+  }
+  void free_node(Node* n) {
+    n->~Node();
+    ral_->deallocate(n);
+  }
+
+  std::size_t bucket_of(const K& key) { return Hash{}(key) % nbuckets_; }
+
+  ralloc::Ralloc* ral_;
+  nvm::Region* region_;
+  std::size_t nbuckets_;
+  Node** heads_;  ///< in NVM: the durable entry points of the structure
+  std::unique_ptr<util::Padded<std::mutex>[]> locks_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace montage::baselines

@@ -1,0 +1,150 @@
+// Reimplementation of SOFT (Zuriel, Friedman, Sheffi, Cohen & Petrank,
+// OOPSLA'19): a durable set/map that persists only semantic data — one
+// PNode per live key in NVM — while keeping a *full copy* of the data in
+// DRAM. Its signature properties, reproduced here:
+//
+//  * gets read exclusively from the DRAM copy: zero NVM traffic;
+//  * an insert writes the PNode's fields and validity marker and flushes
+//    them, with no ordering fence on the critical path (validity is encoded
+//    so any subset of persisted fields is unambiguous at recovery);
+//  * removes persist only the invalidity marker;
+//  * there is no atomic update of an existing key (the paper's stated
+//    limitation — our benches, like the paper's, avoid update for SOFT);
+//  * the NVM capacity advantage is forfeited (everything is duplicated in
+//    DRAM).
+//
+// Concurrency note: the original is lock-free; we use the same per-bucket
+// locking as every other baseline in this repo so that cross-system
+// comparisons isolate persistence traffic, which is what the paper's
+// figures measure. Recovery scans valid PNodes and rebuilds the DRAM copy.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "nvm/region.hpp"
+#include "ralloc/ralloc.hpp"
+#include "util/padded.hpp"
+
+namespace montage::baselines {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class SoftHashMap {
+ public:
+  static constexpr uint64_t kValid = 0x534F46545F4F4Eull;   // "SOFT_ON"
+  static constexpr uint64_t kInvalid = 0x534F46545F4FFFull;
+
+  /// Persistent node: exactly the semantic data plus validity markers.
+  struct PNode {
+    K key;
+    V val;
+    uint64_t validity;
+  };
+
+  SoftHashMap(ralloc::Ralloc* ral, std::size_t nbuckets)
+      : ral_(ral), region_(ral->region()), buckets_(nbuckets) {}
+
+  ~SoftHashMap() {
+    for (auto& b : buckets_) {
+      VNode* n = b.head;
+      while (n != nullptr) {
+        VNode* next = n->next;
+        ral_->deallocate(n->pnode);
+        delete n;
+        n = next;
+      }
+    }
+  }
+
+  bool insert(const K& key, const V& val) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    for (VNode* n = bkt.head; n != nullptr; n = n->next) {
+      if (n->key == key) return false;
+    }
+    // Write and flush the persistent node; no fence (SOFT's validity
+    // scheme tolerates any persist order).
+    auto* p = static_cast<PNode*>(ral_->allocate(sizeof(PNode)));
+    p->key = key;
+    p->val = val;
+    p->validity = kValid;
+    region_->persist(p, sizeof(PNode));
+    auto* n = new VNode{key, val, p, bkt.head};
+    bkt.head = n;
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::optional<V> get(const K& key) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    // DRAM only: never touches the PNode.
+    for (VNode* n = bkt.head; n != nullptr; n = n->next) {
+      if (n->key == key) return std::optional<V>(n->val);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<V> remove(const K& key) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    VNode* prev = nullptr;
+    for (VNode* n = bkt.head; n != nullptr; prev = n, n = n->next) {
+      if (n->key == key) {
+        std::optional<V> ret(n->val);
+        // Persist only the invalidity marker.
+        n->pnode->validity = kInvalid;
+        region_->persist(&n->pnode->validity, sizeof(uint64_t));
+        (prev == nullptr ? bkt.head : prev->next) = n->next;
+        ral_->deallocate(n->pnode);
+        delete n;
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return ret;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Rebuild the DRAM copy from valid PNodes after a crash.
+  void recover(int nthreads = 1) {
+    ral_->recover_blocks(0, 1, [&](void* blk, std::size_t sz) {
+      if (sz < sizeof(PNode)) return false;
+      auto* p = static_cast<PNode*>(blk);
+      if (p->validity != kValid) return false;
+      Bucket& bkt = bucket_of(p->key);
+      std::lock_guard lk(bkt.lock);
+      bkt.head = new VNode{p->key, p->val, p, bkt.head};
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    });
+    (void)nthreads;
+  }
+
+ private:
+  /// Volatile node: the DRAM copy, holding the data *again*.
+  struct VNode {
+    K key;
+    V val;
+    PNode* pnode;
+    VNode* next;
+  };
+  struct alignas(util::kCacheLineSize) Bucket {
+    std::mutex lock;
+    VNode* head = nullptr;
+  };
+
+  Bucket& bucket_of(const K& key) {
+    return buckets_[Hash{}(key) % buckets_.size()];
+  }
+
+  ralloc::Ralloc* ral_;
+  nvm::Region* region_;
+  std::vector<Bucket> buckets_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace montage::baselines

@@ -1,0 +1,225 @@
+// Transient reference structures for the paper's "DRAM (T)" and "NVM (T)"
+// series: the same lock-per-bucket hashmap and single-lock queue shapes as
+// the Montage versions, with no persistence support, parameterized by where
+// the nodes live (heap vs the emulated-NVM allocator).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <vector>
+
+#include "ralloc/ralloc.hpp"
+#include "util/padded.hpp"
+
+namespace montage::ds {
+
+/// Memory policy: ordinary heap (DRAM).
+struct DramMem {
+  static void* alloc(std::size_t n) { return ::operator new(n); }
+  static void free(void* p) { ::operator delete(p); }
+};
+
+/// Memory policy: the default Ralloc instance (NVM), no persistence ops —
+/// the paper's "NVM (T)" configuration.
+struct NvmMem {
+  static void* alloc(std::size_t n) {
+    return ralloc::Ralloc::default_instance()->allocate(n);
+  }
+  static void free(void* p) {
+    ralloc::Ralloc::default_instance()->deallocate(p);
+  }
+};
+
+template <typename K, typename V, typename Mem = DramMem,
+          typename Hash = std::hash<K>>
+class TransientHashMap {
+ public:
+  explicit TransientHashMap(std::size_t nbuckets) : buckets_(nbuckets) {}
+
+  ~TransientHashMap() {
+    for (auto& b : buckets_) {
+      Node* n = b.head;
+      while (n != nullptr) {
+        Node* next = n->next;
+        destroy(n);
+        n = next;
+      }
+    }
+  }
+
+  std::optional<V> put(const K& key, const V& val) {
+    Bucket& bkt = bucket_of(key);
+    Node* fresh = create(key, val);
+    std::lock_guard lk(bkt.lock);
+    Node* prev = nullptr;
+    Node* curr = bkt.head;
+    while (curr != nullptr) {
+      if (curr->key == key) {
+        std::optional<V> ret(curr->val);
+        curr->val = val;
+        destroy(fresh);
+        return ret;
+      }
+      if (curr->key > key) break;
+      prev = curr;
+      curr = curr->next;
+    }
+    fresh->next = curr;
+    (prev == nullptr ? bkt.head : prev->next) = fresh;
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  bool insert(const K& key, const V& val) {
+    Bucket& bkt = bucket_of(key);
+    Node* fresh = create(key, val);
+    std::lock_guard lk(bkt.lock);
+    Node* prev = nullptr;
+    Node* curr = bkt.head;
+    while (curr != nullptr) {
+      if (curr->key == key) {
+        destroy(fresh);
+        return false;
+      }
+      if (curr->key > key) break;
+      prev = curr;
+      curr = curr->next;
+    }
+    fresh->next = curr;
+    (prev == nullptr ? bkt.head : prev->next) = fresh;
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::optional<V> get(const K& key) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    for (Node* n = bkt.head; n != nullptr; n = n->next) {
+      if (n->key == key) return std::optional<V>(n->val);
+      if (n->key > key) break;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<V> remove(const K& key) {
+    Bucket& bkt = bucket_of(key);
+    std::lock_guard lk(bkt.lock);
+    Node* prev = nullptr;
+    Node* curr = bkt.head;
+    while (curr != nullptr) {
+      if (curr->key == key) {
+        std::optional<V> ret(curr->val);
+        (prev == nullptr ? bkt.head : prev->next) = curr->next;
+        destroy(curr);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return ret;
+      }
+      if (curr->key > key) break;
+      prev = curr;
+      curr = curr->next;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    K key;
+    V val;
+    Node* next = nullptr;
+  };
+  struct alignas(util::kCacheLineSize) Bucket {
+    std::mutex lock;
+    Node* head = nullptr;
+  };
+
+  static Node* create(const K& k, const V& v) {
+    void* mem = Mem::alloc(sizeof(Node));
+    Node* n = new (mem) Node();
+    n->key = k;
+    n->val = v;
+    return n;
+  }
+  static void destroy(Node* n) {
+    n->~Node();
+    Mem::free(n);
+  }
+
+  Bucket& bucket_of(const K& key) {
+    return buckets_[Hash{}(key) % buckets_.size()];
+  }
+
+  std::vector<Bucket> buckets_;
+  std::atomic<std::size_t> size_{0};
+};
+
+template <typename V, typename Mem = DramMem>
+class TransientQueue {
+ public:
+  TransientQueue() = default;
+  ~TransientQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      destroy(n);
+      n = next;
+    }
+  }
+
+  void enqueue(const V& val) {
+    Node* n = create(val);
+    std::lock_guard lk(lock_);
+    if (tail_ == nullptr) {
+      head_ = tail_ = n;
+    } else {
+      tail_->next = n;
+      tail_ = n;
+    }
+    ++size_;
+  }
+
+  std::optional<V> dequeue() {
+    std::lock_guard lk(lock_);
+    if (head_ == nullptr) return std::nullopt;
+    Node* n = head_;
+    head_ = n->next;
+    if (head_ == nullptr) tail_ = nullptr;
+    std::optional<V> ret(n->val);
+    destroy(n);
+    --size_;
+    return ret;
+  }
+
+  std::size_t size() {
+    std::lock_guard lk(lock_);
+    return size_;
+  }
+
+ private:
+  struct Node {
+    V val;
+    Node* next = nullptr;
+  };
+  static Node* create(const V& v) {
+    void* mem = Mem::alloc(sizeof(Node));
+    Node* n = new (mem) Node();
+    n->val = v;
+    return n;
+  }
+  static void destroy(Node* n) {
+    n->~Node();
+    Mem::free(n);
+  }
+
+  std::mutex lock_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace montage::ds

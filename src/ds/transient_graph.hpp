@@ -1,0 +1,172 @@
+// Transient reference graph for the paper's "DRAM (T)" series (Fig. 11/12):
+// the same slot/locking discipline as MontageGraph, with plain heap-resident
+// attribute records instead of payloads. Mem selects DRAM vs NVM placement.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/transient.hpp"
+#include "util/padded.hpp"
+
+namespace montage::ds {
+
+template <typename VAttr = uint64_t, typename EAttr = uint64_t,
+          typename Mem = DramMem>
+class TransientGraph {
+ public:
+  explicit TransientGraph(std::size_t capacity) : slots_(capacity) {}
+
+  ~TransientGraph() {
+    for (auto& s : slots_) {
+      if (s.v == nullptr) continue;
+      for (auto& [n, e] : s.v->adj) {
+        if (e->src == index_of(s.v)) destroy_edge(e);  // free each edge once
+      }
+      destroy_vertex(s.v);
+    }
+  }
+
+  bool add_vertex(uint64_t id, const VAttr& attr = VAttr{}) {
+    Slot& s = slot(id);
+    std::lock_guard lk(s.m);
+    if (s.v != nullptr) return false;
+    s.v = create_vertex(id, attr);
+    nvertices_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool has_vertex(uint64_t id) {
+    Slot& s = slot(id);
+    std::lock_guard lk(s.m);
+    return s.v != nullptr;
+  }
+
+  bool add_edge(uint64_t a, uint64_t b, const EAttr& attr = EAttr{}) {
+    if (a == b) return false;
+    Slot& sa = slot(a);
+    Slot& sb = slot(b);
+    std::scoped_lock lk(slot(std::min(a, b)).m, slot(std::max(a, b)).m);
+    if (sa.v == nullptr || sb.v == nullptr) return false;
+    if (sa.v->adj.contains(b)) return false;
+    Edge* e = create_edge(a, b, attr);
+    sa.v->adj.emplace(b, e);
+    sb.v->adj.emplace(a, e);
+    nedges_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool remove_edge(uint64_t a, uint64_t b) {
+    if (a == b) return false;
+    Slot& sa = slot(a);
+    Slot& sb = slot(b);
+    std::scoped_lock lk(slot(std::min(a, b)).m, slot(std::max(a, b)).m);
+    if (sa.v == nullptr || sb.v == nullptr) return false;
+    auto it = sa.v->adj.find(b);
+    if (it == sa.v->adj.end()) return false;
+    destroy_edge(it->second);
+    sa.v->adj.erase(it);
+    sb.v->adj.erase(a);
+    nedges_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool has_edge(uint64_t a, uint64_t b) {
+    if (a == b) return false;
+    std::scoped_lock lk(slot(std::min(a, b)).m, slot(std::max(a, b)).m);
+    Slot& sa = slot(a);
+    return sa.v != nullptr && sa.v->adj.contains(b);
+  }
+
+  bool remove_vertex(uint64_t id) {
+    while (true) {
+      std::vector<uint64_t> nbrs;
+      {
+        Slot& s = slot(id);
+        std::lock_guard lk(s.m);
+        if (s.v == nullptr) return false;
+        for (auto& [n, e] : s.v->adj) nbrs.push_back(n);
+      }
+      std::vector<uint64_t> all(nbrs);
+      all.push_back(id);
+      std::sort(all.begin(), all.end());
+      all.erase(std::unique(all.begin(), all.end()), all.end());
+      std::vector<std::unique_lock<std::mutex>> locks;
+      for (uint64_t x : all) locks.emplace_back(slot(x).m);
+      Slot& s = slot(id);
+      if (s.v == nullptr) return false;
+      std::vector<uint64_t> now;
+      for (auto& [n, e] : s.v->adj) now.push_back(n);
+      std::sort(now.begin(), now.end());
+      std::sort(nbrs.begin(), nbrs.end());
+      if (now != nbrs) continue;
+      for (auto& [n, e] : s.v->adj) {
+        destroy_edge(e);
+        slot(n).v->adj.erase(id);
+        nedges_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      destroy_vertex(s.v);
+      s.v = nullptr;
+      nvertices_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
+  std::size_t vertex_count() const {
+    return nvertices_.load(std::memory_order_relaxed);
+  }
+  std::size_t edge_count() const {
+    return nedges_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Edge {
+    uint64_t src, dst;
+    EAttr attr;
+  };
+  struct Vertex {
+    uint64_t id;
+    VAttr attr;
+    std::unordered_map<uint64_t, Edge*> adj;
+  };
+  struct alignas(util::kCacheLineSize) Slot {
+    std::mutex m;
+    Vertex* v = nullptr;
+  };
+
+  Vertex* create_vertex(uint64_t id, const VAttr& attr) {
+    void* mem = Mem::alloc(sizeof(Vertex));
+    auto* v = new (mem) Vertex();
+    v->id = id;
+    v->attr = attr;
+    return v;
+  }
+  void destroy_vertex(Vertex* v) {
+    v->~Vertex();
+    Mem::free(v);
+  }
+  Edge* create_edge(uint64_t a, uint64_t b, const EAttr& attr) {
+    void* mem = Mem::alloc(sizeof(Edge));
+    auto* e = new (mem) Edge();
+    e->src = a;
+    e->dst = b;
+    e->attr = attr;
+    return e;
+  }
+  void destroy_edge(Edge* e) {
+    e->~Edge();
+    Mem::free(e);
+  }
+
+  uint64_t index_of(Vertex* v) const { return v->id; }
+  Slot& slot(uint64_t id) { return slots_[id % slots_.size()]; }
+
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> nvertices_{0};
+  std::atomic<std::size_t> nedges_{0};
+};
+
+}  // namespace montage::ds

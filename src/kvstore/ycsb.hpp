@@ -1,0 +1,70 @@
+// YCSB core-workload generator (Cooper et al.), as used by the paper's
+// memcached experiment (Fig. 10): workload A is 50% reads / 50% updates over
+// a zipfian-popular key space of N records, keys formatted "user<hash>".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kvstore/memcache.hpp"
+#include "util/rand.hpp"
+#include "util/zipf.hpp"
+
+namespace montage::kvstore {
+
+enum class YcsbOp { kRead, kUpdate, kInsert, kScan };
+
+struct YcsbAConfig {
+  uint64_t record_count = 1'000'000;
+  double read_fraction = 0.5;  // workload A: 50/50 read:update
+  double zipf_theta = 0.99;
+};
+
+class YcsbAGenerator {
+ public:
+  YcsbAGenerator(const YcsbAConfig& cfg, uint64_t seed)
+      : cfg_(cfg), zipf_(cfg.record_count, cfg.zipf_theta, seed), rng_(seed) {}
+
+  static CacheKey key_for(uint64_t record) {
+    return CacheKey("user" + std::to_string(record));
+  }
+
+  struct Op {
+    YcsbOp type;
+    CacheKey key;
+  };
+
+  Op next() {
+    const uint64_t rec = zipf_.next_scrambled();
+    const YcsbOp type = rng_.next_double() < cfg_.read_fraction
+                            ? YcsbOp::kRead
+                            : YcsbOp::kUpdate;
+    return Op{type, key_for(rec)};
+  }
+
+  /// Run one op against any cache with get/set.
+  template <typename Cache>
+  void apply(Cache& cache, const Op& op, const CacheValue& payload) {
+    if (op.type == YcsbOp::kRead) {
+      cache.get(op.key);
+    } else {
+      cache.set(op.key, payload);
+    }
+  }
+
+  /// Preload all records.
+  template <typename Cache>
+  static void load(Cache& cache, uint64_t record_count,
+                   const CacheValue& payload) {
+    for (uint64_t r = 0; r < record_count; ++r) {
+      cache.set(key_for(r), payload);
+    }
+  }
+
+ private:
+  YcsbAConfig cfg_;
+  util::ZipfianGenerator zipf_;
+  util::Xorshift128Plus rng_;
+};
+
+}  // namespace montage::kvstore

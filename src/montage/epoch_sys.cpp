@@ -1,0 +1,498 @@
+#include "montage/epoch_sys.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+#include "nvm/region.hpp"
+#include "util/timing.hpp"
+
+namespace montage {
+
+namespace {
+// Region root slots (slot 0 belongs to Ralloc).
+constexpr int kClockRoot = 1;
+constexpr int kUidRoot = 2;
+// First epoch; starting at 4 keeps (e-2)-style arithmetic trivially in range.
+constexpr uint64_t kFirstEpoch = 4;
+constexpr uint64_t kUidBatch = 1 << 16;
+
+thread_local EpochSys* tls_esys = nullptr;
+std::atomic<EpochSys*> g_default_esys{nullptr};
+}  // namespace
+
+EpochSys::EpochSys(ralloc::Ralloc* ral, const Options& opts, bool recover)
+    : ral_(ral),
+      opts_(opts),
+      clock_(&ral->region()->root(kClockRoot)),
+      tds_(std::make_unique<ThreadData[]>(opts.max_threads)),
+      mind_(opts.max_threads),
+      uid_root_(&ral->region()->root(kUidRoot)) {
+  nvm::Region* region = ral_->region();
+  if (recover) {
+    crash_epoch_ = clock_->load(std::memory_order_relaxed);
+    assert(crash_epoch_ >= kFirstEpoch);
+    // Resume two epochs later so every new label exceeds every survivor's.
+    clock_->store(crash_epoch_ + 2, std::memory_order_relaxed);
+  } else {
+    crash_epoch_ = 0;
+    clock_->store(kFirstEpoch, std::memory_order_relaxed);
+    uid_root_->store(1, std::memory_order_relaxed);
+    region->persist(uid_root_, sizeof(*uid_root_));
+  }
+  region->persist_fence(clock_, sizeof(*clock_));
+
+  EpochSys* expected = nullptr;
+  g_default_esys.compare_exchange_strong(expected, this,
+                                         std::memory_order_acq_rel);
+
+  if (opts_.start_advancer && !opts_.transient) {
+    advancer_running_ = true;
+    advancer_ = std::thread([this] { advancer_loop(); });
+  }
+}
+
+EpochSys::~EpochSys() {
+  stop_advancer();
+  EpochSys* self = this;
+  g_default_esys.compare_exchange_strong(self, nullptr,
+                                         std::memory_order_acq_rel);
+}
+
+EpochSys* EpochSys::default_esys() {
+  return g_default_esys.load(std::memory_order_acquire);
+}
+
+void EpochSys::set_default_esys(EpochSys* esys) {
+  g_default_esys.store(esys, std::memory_order_release);
+}
+
+void EpochSys::stop_advancer() {
+  if (!advancer_running_) return;
+  stop_.store(true, std::memory_order_release);
+  advancer_.join();
+  advancer_running_ = false;
+}
+
+void EpochSys::advancer_loop() {
+  const uint64_t len = opts_.epoch_length_ns;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (len >= 1'000'000) {
+      // Sleep in <=1 ms slices so shutdown stays responsive.
+      uint64_t remaining = len;
+      while (remaining > 0 && !stop_.load(std::memory_order_acquire)) {
+        const uint64_t slice = std::min<uint64_t>(remaining, 1'000'000);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+        remaining -= slice;
+      }
+    } else {
+      util::spin_for_ns(len);
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    advance_epoch();
+  }
+}
+
+// ---- operation lifecycle ----------------------------------------------------
+
+uint64_t EpochSys::begin_op() {
+  ThreadData& td = my_td();
+  assert(!td.in_op && "nested operations are not supported");
+  const int tid = util::thread_id();
+  int hwm = tid_hwm_.load(std::memory_order_relaxed);
+  while (tid >= hwm &&
+         !tid_hwm_.compare_exchange_weak(hwm, tid + 1,
+                                         std::memory_order_acq_rel)) {
+  }
+  if (opts_.transient) {
+    td.in_op = true;
+    td.op_epoch = 0;
+    tls_esys = this;
+    return 0;
+  }
+  uint64_t e;
+  // Announce atomically with reading the clock: register, then confirm the
+  // clock did not move (paper Fig. 3, BEGIN_OP). Each retry implies the epoch
+  // advanced, so some other operation completed — Montage stays lock-free.
+  while (true) {
+    e = clock_->load(std::memory_order_acquire);
+    td.active.store(e, std::memory_order_seq_cst);
+    if (clock_->load(std::memory_order_seq_cst) == e) break;
+    td.active.store(kNoEpoch, std::memory_order_seq_cst);
+  }
+  td.in_op = true;
+  td.op_epoch = e;
+  tls_esys = this;
+
+  // Help any waiting sync(): write back our own stale buffers early.
+  if (syncs_pending_.load(std::memory_order_relaxed) > 0) {
+    if (drain_ring(td, e - 1) > 0) ral_->region()->fence();
+  }
+
+  // Adopt payloads allocated before the operation began (paper §3.1).
+  if (!td.pre_allocs.empty()) {
+    std::vector<PBlk*> adopted;
+    adopted.swap(td.pre_allocs);
+    for (PBlk* p : adopted) {
+      p->epoch_ = e;
+      p->blktype_ = static_cast<uint32_t>(BlkType::kAlloc);
+      register_write(p);
+    }
+  }
+
+  // LocalFree configuration: workers reclaim their own lists on epoch change
+  // (paper Fig. 3 lines 8-12 / Fig. 4 "Buf=64+LocalFree").
+  if (opts_.local_free && e > td.last_epoch && td.last_epoch >= kFirstEpoch) {
+    const uint64_t lo = td.last_epoch - 1;
+    const uint64_t hi = std::min(td.last_epoch + 1, e - 2);
+    for (uint64_t x = lo; x <= hi; ++x) reclaim_list(td, x);
+  }
+  td.last_epoch = e;
+  return e;
+}
+
+void EpochSys::end_op() {
+  ThreadData& td = my_td();
+  assert(td.in_op);
+  if (!opts_.transient) {
+    if (opts_.write_back == WriteBack::kPerOp && !td.per_op_writes.empty()) {
+      for (PBlk* p : td.per_op_writes) persist_block(p);
+      td.per_op_writes.clear();
+      ral_->region()->fence();
+    } else if (opts_.write_back == WriteBack::kImmediate && td.wrote) {
+      ral_->region()->fence();
+    }
+    td.wrote = false;
+    td.active.store(kNoEpoch, std::memory_order_release);
+  }
+  td.in_op = false;
+  td.op_epoch = kNoEpoch;
+  tls_esys = nullptr;
+}
+
+bool EpochSys::in_op() const { return my_td().in_op; }
+
+bool EpochSys::check_epoch() const {
+  const ThreadData& td = my_td();
+  if (opts_.transient) return true;
+  assert(td.in_op);
+  return clock_->load(std::memory_order_acquire) == td.op_epoch;
+}
+
+// ---- payload management -----------------------------------------------------
+
+uint64_t EpochSys::next_uid(ThreadData& td) {
+  if (td.uid_next == td.uid_limit) {
+    td.uid_next =
+        uid_root_->fetch_add(kUidBatch, std::memory_order_acq_rel);
+    td.uid_limit = td.uid_next + kUidBatch;
+    // Persist the high-water mark so uids never repeat across a crash.
+    if (!opts_.transient) {
+      ral_->region()->persist_fence(uid_root_, sizeof(*uid_root_));
+    }
+  }
+  return td.uid_next++;
+}
+
+void EpochSys::init_new_block(PBlk* p, std::size_t size) {
+  ThreadData& td = my_td();
+  p->magic_ = kPBlkMagic;
+  p->uid_ = next_uid(td);
+  p->size_ = size;
+  if (opts_.transient) {
+    p->epoch_ = 0;
+    p->blktype_ = static_cast<uint32_t>(BlkType::kAlloc);
+    return;
+  }
+  if (td.in_op) {
+    p->epoch_ = td.op_epoch;
+    p->blktype_ = static_cast<uint32_t>(BlkType::kAlloc);
+    register_write(p);
+  } else {
+    // Early allocation: labeled when BEGIN_OP runs (paper §3.1).
+    p->epoch_ = kNoEpoch;
+    p->blktype_ = static_cast<uint32_t>(BlkType::kAlloc);
+    td.pre_allocs.push_back(p);
+  }
+}
+
+PBlk* EpochSys::ensure_writable(PBlk* p) {
+  if (opts_.transient) return p;
+  ThreadData& td = my_td();
+  assert(td.in_op && "set_* requires an active operation");
+  osn_check(p);
+  if (p->epoch_ == td.op_epoch) return p;
+  // Created in an earlier epoch: clone into the current one. The old version
+  // must stay durable until the clone is (crash in this epoch or the next
+  // rolls back to it), so it is reclaimed two epochs from now.
+  void* mem = ral_->allocate(p->size_);
+  std::memcpy(mem, p, p->size_);
+  auto* clone = static_cast<PBlk*>(static_cast<void*>(mem));
+  clone->epoch_ = td.op_epoch;
+  clone->blktype_ = static_cast<uint32_t>(BlkType::kUpdate);
+  {
+    std::lock_guard lk(td.m);
+    td.to_free[td.op_epoch % 4].push_back(p);
+  }
+  return clone;
+}
+
+void EpochSys::register_write(PBlk* p) {
+  if (opts_.transient) return;
+  ThreadData& td = my_td();
+  assert(td.in_op);
+  switch (opts_.write_back) {
+    case WriteBack::kImmediate:
+      persist_block(p);
+      td.wrote = true;
+      break;
+    case WriteBack::kPerOp:
+      if (td.per_op_writes.empty() || td.per_op_writes.back() != p) {
+        td.per_op_writes.push_back(p);
+      }
+      break;
+    case WriteBack::kBuffered: {
+      std::lock_guard lk(td.m);
+      ring_push(td, td.op_epoch, p);
+      break;
+    }
+  }
+}
+
+void EpochSys::pdelete(PBlk* p) {
+  if (opts_.transient) {
+    p->magic_ = kPBlkDead;
+    ral_->deallocate(p);
+    return;
+  }
+  ThreadData& td = my_td();
+  assert(td.in_op && "PDELETE requires an active operation");
+  osn_check(p);
+  const uint64_t e = td.op_epoch;
+
+  if (opts_.direct_free) {
+    // Bench-only reference configuration (Fig. 4 "Buf=64+DirFree"): not
+    // crash-consistent, but shows the cost of deferred reclamation.
+    p->magic_ = kPBlkDead;
+    ral_->deallocate(p);
+    return;
+  }
+
+  if (p->epoch_ == e) {
+    // This version was created in the current epoch: it can nullify itself.
+    // (The paper frees brand-new ALLOC payloads immediately; we route them
+    // through the same DELETE-mark path so that a block whose header was
+    // already written back by ring overflow can never be resurrected.)
+    p->blktype_ = static_cast<uint32_t>(BlkType::kDelete);
+    register_write(p);
+    std::lock_guard lk(td.m);
+    td.to_free[e % 4].push_back(p);
+  } else {
+    // Anti-payload: same uid, current epoch. It outlives its victim by one
+    // epoch so that recovery always sees it while the victim might survive.
+    auto* anti = static_cast<PBlk*>(ral_->allocate(sizeof(PBlk)));
+    new (anti) PBlk();
+    anti->magic_ = kPBlkMagic;
+    anti->uid_ = p->uid_;
+    anti->size_ = sizeof(PBlk);
+    anti->epoch_ = e;
+    anti->blktype_ = static_cast<uint32_t>(BlkType::kDelete);
+    register_write(anti);
+    std::lock_guard lk(td.m);
+    td.to_free[(e + 1) % 4].push_back(anti);
+    td.to_free[e % 4].push_back(p);
+  }
+}
+
+// ---- write-back machinery ---------------------------------------------------
+
+void EpochSys::persist_block(const PBlk* p) {
+  ral_->region()->persist(p, p->size_);
+}
+
+void EpochSys::ring_push(ThreadData& td, uint64_t e, PBlk* p) {
+  auto& ring = td.to_persist[e % 4];
+  if (!ring.empty() && ring.back() == p) return;  // hot payload, in place
+  if (ring.empty()) td.ring_epoch[e % 4] = e;
+  if (opts_.buffer_capacity != 0 && ring.size() >= opts_.buffer_capacity) {
+    // Incremental write-back of the oldest entry (paper §5.2: essential so
+    // the background thread never faces unbounded buffers).
+    persist_block(ring.front());
+    ring.pop_front();
+  }
+  ring.push_back(p);
+  update_mindicator(td, static_cast<int>(&td - tds_.get()));
+}
+
+std::size_t EpochSys::drain_ring(ThreadData& td, uint64_t e) {
+  std::lock_guard lk(td.m);
+  auto& ring = td.to_persist[e % 4];
+  if (ring.empty() || td.ring_epoch[e % 4] != e) return 0;
+  const std::size_t n = ring.size();
+  for (PBlk* p : ring) persist_block(p);
+  ring.clear();
+  update_mindicator(td, static_cast<int>(&td - tds_.get()));
+  return n;
+}
+
+void EpochSys::update_mindicator(ThreadData& td, int tid) {
+  uint64_t oldest = Mindicator::kIdle;
+  for (int s = 0; s < 4; ++s) {
+    if (!td.to_persist[s].empty()) oldest = std::min(oldest, td.ring_epoch[s]);
+  }
+  mind_.set(tid, oldest);
+}
+
+void EpochSys::reclaim_now(PBlk* p) {
+  p->magic_ = kPBlkDead;
+  ral_->region()->persist(p, sizeof(PBlk));
+}
+
+void EpochSys::reclaim_list(ThreadData& td, uint64_t e) {
+  std::vector<PBlk*> victims;
+  {
+    std::lock_guard lk(td.m);
+    victims.swap(td.to_free[e % 4]);
+  }
+  if (victims.empty()) return;
+  // Persistently invalidate headers before reuse so a later crash can never
+  // resurrect a reclaimed payload, then fence once for the whole batch.
+  for (PBlk* p : victims) reclaim_now(p);
+  ral_->region()->fence();
+  for (PBlk* p : victims) ral_->deallocate(p);
+}
+
+void EpochSys::wait_all(uint64_t e) {
+  const int hwm = tid_hwm_.load(std::memory_order_acquire);
+  for (int t = 0; t < hwm; ++t) {
+    while (tds_[t].active.load(std::memory_order_acquire) <= e) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void EpochSys::advance_epoch() {
+  if (opts_.transient) return;
+  std::lock_guard lk(advance_mutex_);
+  const uint64_t e = clock_->load(std::memory_order_acquire);
+  // 1. No operation may still be active in the epoch being persisted.
+  wait_all(e - 1);
+  const int hwm = tid_hwm_.load(std::memory_order_acquire);
+  // 2. Write back everything created/modified in e-1 and order it. (If all
+  // buffers already drained — incremental write-back, sync helping — the
+  // data fence can be skipped; the clock fence below still orders us.)
+  std::size_t drained = 0;
+  for (int t = 0; t < hwm; ++t) drained += drain_ring(tds_[t], e - 1);
+  if (drained > 0) ral_->region()->fence();
+  // 3. Reclaim payloads whose grace period expired (unless workers do it).
+  if (!opts_.local_free) {
+    for (int t = 0; t < hwm; ++t) reclaim_list(tds_[t], e - 2);
+  }
+  // 4. Tick and persist the clock; epochs <= e-1 are now durable.
+  clock_->store(e + 1, std::memory_order_release);
+  ral_->region()->persist_fence(clock_, sizeof(*clock_));
+}
+
+void EpochSys::sync() {
+  if (opts_.transient) return;
+  assert(!my_td().in_op && "sync() may not be called inside an operation");
+  syncs_pending_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t target = clock_->load(std::memory_order_acquire);
+  // Everything up to `target` is durable once the clock reaches target+2.
+  // The caller drives the advances itself — including writing back its
+  // peers' buffers inside advance_epoch — so sync latency is bounded by the
+  // longest in-flight operation, not by the epoch length.
+  while (clock_->load(std::memory_order_acquire) < target + 2) {
+    advance_epoch();
+  }
+  syncs_pending_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ---- recovery -----------------------------------------------------------------
+
+std::vector<PBlk*> EpochSys::recover(int nthreads) {
+  assert(crash_epoch_ >= kFirstEpoch && "recover() requires recover=true");
+  const uint64_t cutoff = crash_epoch_ - 2;
+  nvm::Region* region = ral_->region();
+
+  std::vector<std::vector<PBlk*>> shard_survivors(nthreads);
+  auto scan_shard = [&](int shard) {
+    auto& out = shard_survivors[shard];
+    ral_->recover_blocks(shard, nthreads, [&](void* blk, std::size_t bsz) {
+      auto* p = static_cast<PBlk*>(blk);
+      if (p->magic_ != kPBlkMagic) return false;  // never allocated, or dead
+      if (p->size_ < sizeof(PBlk) || p->size_ > bsz) {
+        // Torn header (crashed mid-write without a flush): discard.
+        p->magic_ = kPBlkDead;
+        region->persist(p, sizeof(PBlk));
+        return false;
+      }
+      if (p->epoch_ > cutoff) {
+        // Work from the crash epoch or the one before: rolled back.
+        p->magic_ = kPBlkDead;
+        region->persist(p, sizeof(PBlk));
+        return false;
+      }
+      out.push_back(p);
+      return true;
+    });
+  };
+  if (nthreads <= 1) {
+    scan_shard(0);
+  } else {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < nthreads; ++t) workers.emplace_back(scan_shard, t);
+    for (auto& w : workers) w.join();
+  }
+
+  // Resolve uid conflicts: keep the newest version; DELETE nullifies.
+  std::unordered_map<uint64_t, PBlk*> best;
+  std::size_t total = 0;
+  for (auto& v : shard_survivors) total += v.size();
+  best.reserve(total);
+  std::vector<PBlk*> losers;
+  for (auto& v : shard_survivors) {
+    for (PBlk* p : v) {
+      auto [it, inserted] = best.try_emplace(p->uid_, p);
+      if (!inserted) {
+        PBlk*& cur = it->second;
+        if (p->epoch_ > cur->epoch_) std::swap(cur, p);
+        losers.push_back(p);
+      }
+    }
+  }
+  std::vector<PBlk*> result;
+  result.reserve(best.size());
+  for (auto& [uid, p] : best) {
+    if (p->blk_type() == BlkType::kDelete) {
+      losers.push_back(p);
+    } else {
+      result.push_back(p);
+    }
+  }
+  for (PBlk* p : losers) reclaim_now(p);
+  region->fence();
+  for (PBlk* p : losers) ral_->deallocate(p);
+  return result;
+}
+
+// ---- thread-local plumbing for the field macros -------------------------------
+
+EpochSys* EpochSys::tls_current() { return tls_esys; }
+
+void EpochSys::tls_osn_check(const PBlk* p) {
+  if (tls_esys != nullptr) tls_esys->osn_check(p);
+}
+
+PBlk* EpochSys::tls_ensure_writable(PBlk* p) {
+  assert(tls_esys != nullptr && "set_* requires an active operation");
+  return tls_esys->ensure_writable(p);
+}
+
+void EpochSys::tls_register_write(PBlk* p) {
+  assert(tls_esys != nullptr);
+  tls_esys->register_write(p);
+}
+
+}  // namespace montage

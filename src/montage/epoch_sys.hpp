@@ -1,0 +1,259 @@
+// EpochSys: Montage's epoch-based buffered-persistence engine (paper §3, §5).
+//
+// Execution is divided into epochs by a global clock. All payloads created or
+// modified by an operation are labeled with the operation's epoch; payloads
+// of epoch e become durable, together, when the clock ticks from e+1 to e+2.
+// A crash in epoch e therefore loses epochs e and e-1 but recovers everything
+// older — buffered durable linearizability.
+//
+// Per thread, EpochSys keeps four to_persist write-back buffers and four
+// to_free reclamation lists, indexed by epoch mod 4 (only the most recent
+// 2-3 epochs are ever populated). The write-back buffers are bounded rings:
+// on overflow the oldest entry is written back incrementally, which the
+// paper found essential for keeping a single background advancer thread
+// viable (§5.2).
+//
+// The epoch-advancing step at the end of epoch e:
+//   1. waits until no operation is active in epoch e-1;
+//   2. writes back every payload created/modified in e-1 and fences;
+//   3. reclaims to_free[e-2]: invalidates block headers persistently and
+//      returns the blocks to Ralloc;
+//   4. increments the (persistent) epoch clock and writes it back.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "montage/mindicator.hpp"
+#include "montage/pblk.hpp"
+#include "ralloc/ralloc.hpp"
+#include "util/threadid.hpp"
+
+namespace montage {
+
+/// Raised when an operation in epoch e reads a payload created in a later
+/// epoch (paper §3.2): the reader must restart in the newer epoch (or use
+/// get_unsafe_* when the value is only a performance hint).
+struct OldSeeNewException : public std::exception {
+  const char* what() const noexcept override {
+    return "montage: operation observed a payload from a newer epoch";
+  }
+};
+
+/// Raised by CHECK_EPOCH / CAS_verify when the epoch advanced mid-operation.
+struct EpochVerifyException : public std::exception {
+  const char* what() const noexcept override {
+    return "montage: epoch advanced during the operation";
+  }
+};
+
+/// Write-back policies (paper Fig. 4/5/9 design space).
+enum class WriteBack {
+  kBuffered,   ///< per-thread circular buffer, background write-back ("cb")
+  kPerOp,      ///< flush every written payload at END_OP ("dw", Fig. 9)
+  kImmediate,  ///< flush right at each set/PNEW ("DirWB", Fig. 4/5)
+};
+
+class EpochSys {
+ public:
+  struct Options {
+    int max_threads = util::ThreadIdPool::kMaxThreads;
+    std::size_t buffer_capacity = 64;  ///< to_persist ring size; 0 = unbounded
+    uint64_t epoch_length_ns = 10'000'000;  ///< 10 ms, the paper's default
+    bool start_advancer = true;   ///< run the background epoch advancer
+    WriteBack write_back = WriteBack::kBuffered;
+    bool local_free = false;   ///< workers reclaim their own to_free lists
+    bool direct_free = false;  ///< UNSAFE, bench-only: reclaim immediately
+    bool transient = false;    ///< Montage(T): payloads in NVM, no persistence
+  };
+
+  /// Builds on `ral` (which manages the NVM region). `recover` selects
+  /// whether the persistent epoch clock is formatted or resumed.
+  EpochSys(ralloc::Ralloc* ral, const Options& opts, bool recover = false);
+  ~EpochSys();
+  EpochSys(const EpochSys&) = delete;
+  EpochSys& operator=(const EpochSys&) = delete;
+
+  // ---- operation lifecycle -------------------------------------------------
+
+  /// Register the calling thread as active in the current epoch. Returns the
+  /// operation's epoch. Lock-free: retries only when the epoch advances.
+  uint64_t begin_op();
+  void end_op();
+  bool in_op() const;
+  /// True iff the clock still equals the active operation's epoch.
+  bool check_epoch() const;
+  /// Throwing form of check_epoch (paper's CHECK_EPOCH).
+  void check_epoch_or_throw() const {
+    if (!check_epoch()) throw EpochVerifyException{};
+  }
+
+  // ---- payload management --------------------------------------------------
+
+  /// Allocate and construct a payload. May be called before begin_op; such
+  /// payloads are labeled when the operation begins (paper §3.1).
+  template <typename T, typename... Args>
+  T* pnew(Args&&... args) {
+    static_assert(std::is_base_of_v<PBlk, T>);
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Montage payloads must be trivially copyable");
+    void* mem = ral_->allocate(sizeof(T));
+    T* obj = new (mem) T(std::forward<Args>(args)...);
+    init_new_block(obj, sizeof(T));
+    return obj;
+  }
+
+  /// Delete a payload (creates an anti-payload when needed). Must be called
+  /// within an operation.
+  void pdelete(PBlk* p);
+
+  /// Called by set_* field methods: returns `p` if it may be modified in
+  /// place (created in this epoch), else a clone labeled with the current
+  /// epoch; the old version is queued for deferred reclamation. The caller
+  /// must swing every pointer to the old payload to the returned one.
+  PBlk* ensure_writable(PBlk* p);
+
+  /// Called by set_* after the field write: queues (or directly performs)
+  /// the write-back of `p`.
+  void register_write(PBlk* p);
+
+  /// Throw OldSeeNewException if `p` was created in a later epoch than the
+  /// running operation.
+  void osn_check(const PBlk* p) const {
+    const ThreadData& td = my_td();
+    if (td.in_op && p->epoch_ > td.op_epoch) throw OldSeeNewException{};
+  }
+
+  // ---- persistence control --------------------------------------------------
+
+  /// Block until everything the calling thread has done is durable: helps
+  /// write back peers' buffers, then drives the clock two epochs forward
+  /// (paper §5.2). Must not be called inside an operation.
+  void sync();
+
+  /// Advance the epoch once (normally invoked by the background thread).
+  void advance_epoch();
+
+  uint64_t current_epoch() const {
+    return clock_->load(std::memory_order_acquire);
+  }
+  /// Direct reference to the (persistent) epoch clock word, for DCSS.
+  const std::atomic<uint64_t>& epoch_clock() const { return *clock_; }
+  /// Epoch of the calling thread's active operation (kNoEpoch if none).
+  uint64_t active_op_epoch() const { return my_td().op_epoch; }
+  /// Epochs <= this value are durable.
+  uint64_t persisted_frontier() const { return current_epoch() - 2; }
+
+  void stop_advancer();
+
+  // ---- recovery --------------------------------------------------------------
+
+  /// Rebuild from the region after a crash: peruse all blocks via Ralloc,
+  /// keep payloads labeled <= crash_epoch - 2, resolve uid conflicts (keep
+  /// the newest version; a DELETE nullifies), reclaim the rest, and return
+  /// the surviving payloads. The structure's own recovery routine consumes
+  /// the result (filtered by blk_tag for multi-structure regions).
+  std::vector<PBlk*> recover(int nthreads = 1);
+
+  ralloc::Ralloc* ralloc() const { return ral_; }
+  const Options& options() const { return opts_; }
+  const Mindicator& mindicator() const { return mind_; }
+
+  // ---- thread-local access for the field macros ------------------------------
+
+  /// The EpochSys of the calling thread's innermost active operation.
+  static EpochSys* tls_current();
+  static void tls_osn_check(const PBlk* p);
+  static PBlk* tls_ensure_writable(PBlk* p);
+  static void tls_register_write(PBlk* p);
+
+  /// Process-default instance, used by PNEW/PDELETE outside an operation.
+  /// The first EpochSys constructed becomes the default; destroying it
+  /// clears the slot. Multi-instance programs should set this explicitly.
+  static EpochSys* default_esys();
+  static void set_default_esys(EpochSys* esys);
+
+ private:
+  struct alignas(util::kCacheLineSize) ThreadData {
+    std::mutex m;  ///< guards rings and free lists (owner vs advancer/sync)
+    std::deque<PBlk*> to_persist[4];
+    uint64_t ring_epoch[4] = {0, 0, 0, 0};  ///< epoch of each ring's contents
+    std::vector<PBlk*> to_free[4];
+    std::vector<PBlk*> pre_allocs;      ///< PNEW-before-BEGIN_OP payloads
+    std::vector<PBlk*> per_op_writes;   ///< WriteBack::kPerOp staging
+    uint64_t op_epoch = kNoEpoch;
+    uint64_t last_epoch = 0;
+    bool in_op = false;
+    bool wrote = false;  ///< kImmediate: a fence is owed at END_OP
+    std::atomic<uint64_t> active{kNoEpoch};  ///< operation tracker slot
+    uint64_t uid_next = 0;                   ///< per-thread uid block cursor
+    uint64_t uid_limit = 0;
+  };
+
+  ThreadData& my_td() { return tds_[util::thread_id()]; }
+  const ThreadData& my_td() const { return tds_[util::thread_id()]; }
+
+  void init_new_block(PBlk* p, std::size_t size);
+  uint64_t next_uid(ThreadData& td);
+
+  /// Push onto the to_persist ring for epoch `e`; on overflow write back the
+  /// oldest entry. Caller holds td.m.
+  void ring_push(ThreadData& td, uint64_t e, PBlk* p);
+
+  /// Write back a single payload (header + body).
+  void persist_block(const PBlk* p);
+
+  /// Drain and write back one thread's ring for epoch `e`. Caller must NOT
+  /// hold td.m. Returns number of blocks written back.
+  std::size_t drain_ring(ThreadData& td, uint64_t e);
+
+  /// Invalidate and reclaim every block on `td.to_free[e % 4]`.
+  void reclaim_list(ThreadData& td, uint64_t e);
+  void reclaim_now(PBlk* p);
+
+  /// Wait until no operation is active in epoch <= e.
+  void wait_all(uint64_t e);
+
+  void help_persist_up_to(uint64_t e);
+  void update_mindicator(ThreadData& td, int tid);
+
+  void advancer_loop();
+
+  ralloc::Ralloc* ral_;
+  Options opts_;
+  uint64_t crash_epoch_ = 0;  ///< clock value found at recover-construction
+  std::atomic<uint64_t>* clock_;  ///< persistent epoch clock (a region root)
+  std::unique_ptr<ThreadData[]> tds_;
+  Mindicator mind_;
+  std::atomic<uint64_t>* uid_root_;  ///< persistent uid high-water mark
+  std::mutex advance_mutex_;
+  std::atomic<int> syncs_pending_{0};
+  /// One past the highest thread id that ever ran an operation; bounds the
+  /// tracker/buffer scans in advance_epoch and sync.
+  std::atomic<int> tid_hwm_{0};
+  std::thread advancer_;
+  std::atomic<bool> stop_{false};
+  bool advancer_running_ = false;
+};
+
+/// RAII: begin_op on construction, end_op on destruction (the paper's
+/// BEGIN_OP_AUTOEND).
+class MontageOpHolder {
+ public:
+  explicit MontageOpHolder(EpochSys* esys) : esys_(esys) { esys_->begin_op(); }
+  ~MontageOpHolder() { esys_->end_op(); }
+  MontageOpHolder(const MontageOpHolder&) = delete;
+  MontageOpHolder& operator=(const MontageOpHolder&) = delete;
+
+ private:
+  EpochSys* esys_;
+};
+
+}  // namespace montage

@@ -1,0 +1,206 @@
+#include "nvm/region.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rand.hpp"
+#include "util/timing.hpp"
+
+namespace montage::nvm {
+
+namespace {
+std::atomic<int> next_region_tid{0};
+thread_local int region_tid = -1;
+
+int my_region_tid() {
+  if (region_tid < 0) {
+    region_tid = next_region_tid.fetch_add(1, std::memory_order_relaxed) %
+                 Region::kMaxThreads;
+  }
+  return region_tid;
+}
+
+Region* g_region = nullptr;
+}  // namespace
+
+Region::Region(const RegionOptions& opts) : opts_(opts) {
+  if (opts_.size < kHeaderSize * 2) {
+    throw std::invalid_argument("nvm::Region: size too small");
+  }
+  bool fresh = true;
+  if (!opts_.path.empty()) {
+    fd_ = ::open(opts_.path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) throw std::runtime_error("nvm::Region: cannot open " + opts_.path);
+    struct stat st{};
+    ::fstat(fd_, &st);
+    fresh = static_cast<std::size_t>(st.st_size) < opts_.size;
+    if (::ftruncate(fd_, static_cast<off_t>(opts_.size)) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("nvm::Region: ftruncate failed");
+    }
+    void* p = ::mmap(nullptr, opts_.size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd_, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd_);
+      throw std::runtime_error("nvm::Region: mmap failed");
+    }
+    base_ = static_cast<char*>(p);
+  } else {
+    void* p = ::mmap(nullptr, opts_.size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) throw std::runtime_error("nvm::Region: mmap failed");
+    base_ = static_cast<char*>(p);
+  }
+
+  auto* header_magic = reinterpret_cast<std::atomic<uint64_t>*>(base_);
+  if (fresh || header_magic->load(std::memory_order_relaxed) != kMagic) {
+    std::memset(base_, 0, kHeaderSize);
+    header_magic->store(kMagic, std::memory_order_relaxed);
+  }
+
+  pending_ = std::make_unique<PendingLines[]>(kMaxThreads);
+  if (opts_.mode == PersistMode::kTracked) {
+    shadow_ = std::make_unique<char[]>(opts_.size);
+    std::memcpy(shadow_.get(), base_, opts_.size);  // initial image is durable
+  }
+}
+
+Region::~Region() {
+  if (base_ != nullptr) ::munmap(base_, opts_.size);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Region::init_global(const RegionOptions& opts) {
+  destroy_global();
+  g_region = new Region(opts);
+}
+
+Region* Region::global() {
+  assert(g_region != nullptr && "nvm::Region::init_global not called");
+  return g_region;
+}
+
+void Region::destroy_global() {
+  delete g_region;
+  g_region = nullptr;
+}
+
+std::atomic<uint64_t>& Region::root(int i) {
+  assert(i >= 0 && i < kNumRoots);
+  // Roots start one line past the magic word so each has room to grow.
+  return *reinterpret_cast<std::atomic<uint64_t>*>(base_ + kLine +
+                                                   i * sizeof(uint64_t));
+}
+
+Region::PendingLines& Region::my_pending() { return pending_[my_region_tid()]; }
+
+void Region::persist(const void* addr, std::size_t len) {
+  if (len == 0) return;
+  assert(contains(addr));
+  const uint64_t first = line_of(addr);
+  const uint64_t last = line_of(static_cast<const char*>(addr) + len - 1);
+  const uint64_t nlines = last - first + 1;
+  lines_flushed_.fetch_add(nlines, std::memory_order_relaxed);
+  switch (opts_.mode) {
+    case PersistMode::kPassthrough:
+      break;
+    case PersistMode::kLatency: {
+      // clwb issue is cheap; the lines occupy this thread's write-pending
+      // queue and drain at flush_latency_ns per line, concurrently with
+      // further execution. A fence waits for the drain, and issuing into a
+      // full queue stalls the issuer (backpressure).
+      auto& pend = my_pending();
+      const uint64_t now = util::now_ns();
+      pend.drain_clock_ns = std::max(pend.drain_clock_ns, now) +
+                            opts_.flush_latency_ns * nlines;
+      if (pend.drain_clock_ns > now + opts_.wpq_backlog_ns) {
+        util::spin_for_ns(pend.drain_clock_ns - now - opts_.wpq_backlog_ns);
+      }
+      break;
+    }
+    case PersistMode::kTracked: {
+      auto& pend = my_pending();
+      std::lock_guard lk(pend.m);
+      for (uint64_t l = first; l <= last; ++l) pend.lines.push_back(l);
+      break;
+    }
+  }
+}
+
+void Region::fence() {
+  fences_.fetch_add(1, std::memory_order_relaxed);
+  switch (opts_.mode) {
+    case PersistMode::kPassthrough:
+      break;
+    case PersistMode::kLatency: {
+      auto& pend = my_pending();
+      const uint64_t now = util::now_ns();
+      if (pend.drain_clock_ns > now) {
+        const uint64_t wait = pend.drain_clock_ns - now;
+        if (wait > 100'000) {
+          // Long drains (epoch-boundary batches) sleep instead of spinning
+          // so worker threads keep the core — mirroring that real drains
+          // happen in the memory controller, not on the CPU.
+          std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+        } else {
+          util::spin_for_ns(wait);
+        }
+        pend.drain_clock_ns = 0;
+      }
+      util::spin_for_ns(opts_.fence_latency_ns);
+      break;
+    }
+    case PersistMode::kTracked: {
+      // A drain covers the shared write-pending queue: commit every
+      // thread's outstanding writes-back (see header).
+      for (int t = 0; t < kMaxThreads; ++t) {
+        auto& pend = pending_[t];
+        std::lock_guard lk(pend.m);
+        for (uint64_t l : pend.lines) commit_line(l);
+        pend.lines.clear();
+      }
+      break;
+    }
+  }
+}
+
+void Region::commit_line(uint64_t line) {
+  std::memcpy(shadow_.get() + line * kLine, base_ + line * kLine, kLine);
+}
+
+void Region::simulate_crash() {
+  assert(opts_.mode == PersistMode::kTracked &&
+         "simulate_crash requires kTracked mode");
+  // Callers quiesce all threads first; unfenced writes-back die with the
+  // "power failure" exactly as on hardware.
+  for (int t = 0; t < kMaxThreads; ++t) pending_[t].lines.clear();
+  std::memcpy(base_, shadow_.get(), opts_.size);
+}
+
+void Region::evict_random_lines(uint64_t n, uint64_t seed) {
+  assert(opts_.mode == PersistMode::kTracked);
+  util::Xorshift128Plus rng(seed);
+  const uint64_t nlines = opts_.size / kLine;
+  for (uint64_t i = 0; i < n; ++i) commit_line(rng.next_bounded(nlines));
+}
+
+RegionStatsSnapshot Region::stats() const {
+  return {lines_flushed_.load(std::memory_order_relaxed),
+          fences_.load(std::memory_order_relaxed)};
+}
+
+void Region::reset_stats() {
+  lines_flushed_.store(0, std::memory_order_relaxed);
+  fences_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace montage::nvm

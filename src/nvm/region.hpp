@@ -1,0 +1,150 @@
+// Emulated NVM device.
+//
+// The paper runs on Optane DIMMs mapped DAX; stores become durable only after
+// an explicit write-back (clwb) ordered by a fence (sfence). This module
+// reproduces that contract on ordinary memory:
+//
+//  * kPassthrough — persist/fence only count events. Fastest; used when a
+//    test does not care about persistence cost or semantics.
+//  * kLatency     — models Optane's write path: issuing a write-back (clwb)
+//    is nearly free, but each line occupies the (per-thread) write-pending
+//    queue for flush_latency_ns; a fence must wait until every line this
+//    thread flushed has drained, plus a fixed fence_latency_ns. Systems
+//    that fence per operation therefore pay the drain on their critical
+//    path, while systems that buffer and fence once per epoch pay it once
+//    for the whole batch — the mechanism the paper exploits. All figure
+//    benches use this mode.
+//  * kTracked     — a cache-line-granularity shadow image records exactly
+//    the bytes that have been written back AND fenced. simulate_crash()
+//    discards everything else, after which recovery code runs against the
+//    surviving image. Crash-consistency tests use this mode; it is strictly
+//    harsher than real hardware (real caches may also evict lines that were
+//    never flushed — evict_random_lines() injects that behaviour).
+//    A fence commits every thread's outstanding writes-back, not just the
+//    caller's: initiated write-backs sit in the memory controller's shared
+//    write-pending queue, which any subsequent drain covers. (Montage's
+//    epoch boundary relies on this: workers issue incremental writes-back
+//    that the background advancer's fence must make durable.)
+//
+// The first 4 KiB of the region is a header with a small number of root
+// slots; the allocator directory and the epoch clock live there.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/padded.hpp"
+
+namespace montage::nvm {
+
+enum class PersistMode { kPassthrough, kLatency, kTracked };
+
+struct RegionOptions {
+  std::size_t size = 64ull << 20;  ///< arena size in bytes (default 64 MiB)
+  std::string path;                ///< backing file; empty = anonymous memory
+  PersistMode mode = PersistMode::kPassthrough;
+  uint64_t flush_latency_ns = 0;   ///< kLatency: drain time per flushed line
+  uint64_t fence_latency_ns = 0;   ///< kLatency: fixed cost per fence
+  /// kLatency: write-pending-queue depth, expressed as drain time. Issuing
+  /// a write-back when the backlog exceeds this stalls the issuer
+  /// (backpressure), as on real hardware.
+  uint64_t wpq_backlog_ns = 10'000;
+};
+
+struct RegionStatsSnapshot {
+  uint64_t lines_flushed = 0;
+  uint64_t fences = 0;
+};
+
+class Region {
+ public:
+  static constexpr std::size_t kLine = 64;
+  static constexpr std::size_t kHeaderSize = 4096;
+  static constexpr int kNumRoots = 8;
+  static constexpr int kMaxThreads = 256;
+  static constexpr uint64_t kMagic = 0x4D4F4E5441474531ull;  // "MONTAGE1"
+
+  explicit Region(const RegionOptions& opts);
+  ~Region();
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  /// Process-wide region used by the convenience singletons higher up the
+  /// stack. init_global replaces any previous instance.
+  static void init_global(const RegionOptions& opts);
+  static Region* global();
+  static void destroy_global();
+
+  char* base() const { return base_; }
+  std::size_t size() const { return opts_.size; }
+  char* arena_begin() const { return base_ + kHeaderSize; }
+  char* arena_end() const { return base_ + opts_.size; }
+  bool contains(const void* p) const {
+    return p >= base_ && p < base_ + opts_.size;
+  }
+  PersistMode mode() const { return opts_.mode; }
+
+  /// 64-bit root slots in the header. Callers persist them explicitly.
+  std::atomic<uint64_t>& root(int i);
+
+  /// clwb emulation: initiate write-back of every line covering [addr, len).
+  /// Durability is only guaranteed after the next fence() by this thread.
+  void persist(const void* addr, std::size_t len);
+
+  /// sfence emulation: make this thread's outstanding writes-back durable.
+  void fence();
+
+  void persist_fence(const void* addr, std::size_t len) {
+    persist(addr, len);
+    fence();
+  }
+
+  /// kTracked only: throw away every store that was not persisted, leaving
+  /// memory exactly as a crash would. Recovery code then runs on the result.
+  void simulate_crash();
+
+  /// kTracked only: spontaneously write back `n` random lines, emulating
+  /// cache evictions of lines the program never flushed. Crash tests use
+  /// this to check that recovery tolerates torn, unfenced state.
+  void evict_random_lines(uint64_t n, uint64_t seed);
+
+  RegionStatsSnapshot stats() const;
+  void reset_stats();
+
+ private:
+  struct alignas(util::kCacheLineSize) PendingLines {
+    std::mutex m;                 // kTracked only; guards `lines`
+    std::vector<uint64_t> lines;  // line indices flushed but not yet fenced
+    uint64_t drain_clock_ns = 0;  // kLatency: when this thread's WPQ drains
+  };
+
+  uint64_t line_of(const void* p) const {
+    return (static_cast<const char*>(p) - base_) / kLine;
+  }
+  void commit_line(uint64_t line);
+  PendingLines& my_pending();
+
+  RegionOptions opts_;
+  char* base_ = nullptr;
+  int fd_ = -1;
+  std::unique_ptr<char[]> shadow_;  // kTracked persistent image
+  std::unique_ptr<PendingLines[]> pending_;
+  std::atomic<uint64_t> lines_flushed_{0};
+  std::atomic<uint64_t> fences_{0};
+};
+
+/// Convenience wrappers against the global region.
+inline void persist(const void* p, std::size_t n) {
+  Region::global()->persist(p, n);
+}
+inline void fence() { Region::global()->fence(); }
+inline void persist_fence(const void* p, std::size_t n) {
+  Region::global()->persist_fence(p, n);
+}
+
+}  // namespace montage::nvm

@@ -1,0 +1,299 @@
+#include "ralloc/ralloc.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace montage::ralloc {
+
+namespace {
+
+// Size classes chosen ~1.5x apart; all multiples of 16 so blocks stay
+// 16-byte aligned (superblock bases are page-aligned, headers are 64 B).
+constexpr std::size_t kClassSizes[] = {
+    32,    48,    64,    96,    128,   192,   256,   384,
+    512,   768,   1024,  1536,  2048,  3072,  4096,  6144,
+    8192,  12288, 16384, 24576, 32768, 49152, 65536};
+constexpr int kNumClasses = static_cast<int>(std::size(kClassSizes));
+constexpr std::size_t kMaxSmall = kClassSizes[kNumClasses - 1];
+constexpr std::size_t kCacheBatch = 32;
+
+std::atomic<int> next_ralloc_tid{0};
+thread_local int ralloc_tid = -1;
+
+int my_ralloc_tid() {
+  if (ralloc_tid < 0) {
+    ralloc_tid = next_ralloc_tid.fetch_add(1, std::memory_order_relaxed) %
+                 Ralloc::kMaxThreads;
+  }
+  return ralloc_tid;
+}
+
+// Root slot reserved for the allocator's superblock high-water mark.
+constexpr int kSbCountRoot = 0;
+
+std::atomic<Ralloc*> g_default_ralloc{nullptr};
+
+}  // namespace
+
+Ralloc* Ralloc::default_instance() {
+  return g_default_ralloc.load(std::memory_order_acquire);
+}
+
+void Ralloc::set_default_instance(Ralloc* r) {
+  g_default_ralloc.store(r, std::memory_order_release);
+}
+
+Ralloc::~Ralloc() {
+  Ralloc* self = this;
+  g_default_ralloc.compare_exchange_strong(self, nullptr,
+                                           std::memory_order_acq_rel);
+}
+
+int Ralloc::class_index(std::size_t sz) {
+  for (int i = 0; i < kNumClasses; ++i) {
+    if (sz <= kClassSizes[i]) return i;
+  }
+  return -1;  // huge
+}
+
+std::size_t Ralloc::class_size(int idx) { return kClassSizes[idx]; }
+
+Ralloc::Ralloc(nvm::Region* region, Mode mode)
+    : region_(region),
+      sb_count_(&region->root(kSbCountRoot)),
+      classes_(kNumClasses),
+      caches_(std::make_unique<ThreadCache[]>(kMaxThreads)) {
+  Ralloc* expected = nullptr;
+  g_default_ralloc.compare_exchange_strong(expected, this,
+                                           std::memory_order_acq_rel);
+  if (mode == Mode::kFresh) {
+    sb_count_->store(0, std::memory_order_relaxed);
+    region_->persist_fence(sb_count_, sizeof(*sb_count_));
+    return;
+  }
+  // kRecover: trust only fully initialized superblocks (those below the
+  // persisted high-water mark with a valid descriptor). Free lists stay
+  // empty until recover_blocks() classifies every slot.
+  const uint64_t count = sb_count_->load(std::memory_order_relaxed);
+  if (count > max_superblocks()) {
+    throw std::runtime_error("ralloc: corrupt superblock count");
+  }
+  std::size_t idx = 0;
+  while (idx < count) {
+    SbMeta* meta = sb_meta(idx);
+    if (meta->magic == kSbMagicHuge) {
+      if (meta->num_sbs == 0 || idx + meta->num_sbs > count) {
+        throw std::runtime_error("ralloc: corrupt huge extent");
+      }
+      huge_extents_.fetch_add(1, std::memory_order_relaxed);
+      idx += meta->num_sbs;
+    } else if (meta->magic == kSbMagicSmall) {
+      if (class_index(meta->block_size) < 0 ||
+          class_size(class_index(meta->block_size)) != meta->block_size) {
+        throw std::runtime_error("ralloc: corrupt size class");
+      }
+      idx += 1;
+    } else {
+      throw std::runtime_error("ralloc: corrupt superblock descriptor");
+    }
+  }
+}
+
+Ralloc::ThreadCache& Ralloc::my_cache() { return caches_[my_ralloc_tid()]; }
+
+std::size_t Ralloc::reserve_superblocks(uint32_t n, uint64_t magic,
+                                        uint32_t block_size) {
+  std::lock_guard lk(sb_mutex_);
+  const uint64_t start = sb_count_->load(std::memory_order_relaxed);
+  if (start + n > max_superblocks()) {
+    throw std::bad_alloc();
+  }
+  SbMeta* meta = sb_meta(start);
+  meta->block_size = block_size;
+  meta->num_sbs = n;
+  meta->magic = magic;
+  region_->persist(meta, sizeof(*meta));
+  region_->fence();
+  // Publish only after the descriptor is durable, so a crash can never
+  // expose an initialized count covering a garbage descriptor.
+  sb_count_->store(start + n, std::memory_order_release);
+  region_->persist_fence(sb_count_, sizeof(*sb_count_));
+  return start;
+}
+
+void Ralloc::refill_class(int cls) {
+  const std::size_t bsz = class_size(cls);
+  const std::size_t idx = reserve_superblocks(1, kSbMagicSmall,
+                                              static_cast<uint32_t>(bsz));
+  char* blocks = sb_base(idx) + kSbHeader;
+  const std::size_t nblocks = (kSuperblockSize - kSbHeader) / bsz;
+  auto& central = classes_[cls];
+  central.free_blocks.reserve(central.free_blocks.size() + nblocks);
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    central.free_blocks.push_back(blocks + i * bsz);
+  }
+}
+
+void* Ralloc::allocate(std::size_t sz) {
+  if (sz == 0) sz = 1;
+  const int cls = class_index(sz);
+  if (cls < 0) return allocate_huge(sz);
+
+  ThreadCache& cache = my_cache();
+  {
+    std::lock_guard lk(cache.m);
+    auto& local = cache.blocks[cls];
+    if (!local.empty()) {
+      void* p = local.back();
+      local.pop_back();
+      return p;
+    }
+  }
+  // Refill from central (creating a superblock if needed), keep one, stash
+  // the rest of the batch locally.
+  std::vector<void*> batch;
+  {
+    std::lock_guard lk(classes_[cls].m);
+    if (classes_[cls].free_blocks.empty()) refill_class(cls);
+    auto& central = classes_[cls].free_blocks;
+    const std::size_t take = std::min(kCacheBatch, central.size());
+    batch.assign(central.end() - take, central.end());
+    central.resize(central.size() - take);
+  }
+  void* p = batch.back();
+  batch.pop_back();
+  if (!batch.empty()) {
+    std::lock_guard lk(cache.m);
+    auto& local = cache.blocks[cls];
+    local.insert(local.end(), batch.begin(), batch.end());
+  }
+  return p;
+}
+
+void Ralloc::deallocate(void* p) {
+  if (p == nullptr) return;
+  assert(contains(p));
+  const SbMeta* meta = sb_meta(sb_index_of(p));
+  if (meta->magic == kSbMagicHuge) {
+    deallocate_huge(p, meta);
+    return;
+  }
+  assert(meta->magic == kSbMagicSmall);
+  const int cls = class_index(meta->block_size);
+  ThreadCache& cache = my_cache();
+  std::vector<void*> overflow;
+  {
+    std::lock_guard lk(cache.m);
+    auto& local = cache.blocks[cls];
+    local.push_back(p);
+    if (local.size() > 2 * kCacheBatch) {
+      overflow.assign(local.end() - kCacheBatch, local.end());
+      local.resize(local.size() - kCacheBatch);
+    }
+  }
+  if (!overflow.empty()) {
+    std::lock_guard lk(classes_[cls].m);
+    auto& central = classes_[cls].free_blocks;
+    central.insert(central.end(), overflow.begin(), overflow.end());
+  }
+}
+
+std::size_t Ralloc::block_size(const void* p) const {
+  assert(contains(p));
+  const SbMeta* meta = sb_meta(sb_index_of(p));
+  if (meta->magic == kSbMagicHuge) {
+    return meta->num_sbs * kSuperblockSize - kSbHeader;
+  }
+  assert(meta->magic == kSbMagicSmall);
+  return meta->block_size;
+}
+
+void* Ralloc::allocate_huge(std::size_t sz) {
+  const uint32_t nsbs = static_cast<uint32_t>(
+      (sz + kSbHeader + kSuperblockSize - 1) / kSuperblockSize);
+  {
+    std::lock_guard lk(huge_mutex_);
+    auto it = huge_free_.find(nsbs);
+    if (it != huge_free_.end() && !it->second.empty()) {
+      void* p = it->second.back();
+      it->second.pop_back();
+      return p;
+    }
+  }
+  const std::size_t idx = reserve_superblocks(nsbs, kSbMagicHuge, 0);
+  huge_extents_.fetch_add(1, std::memory_order_relaxed);
+  return sb_base(idx) + kSbHeader;
+}
+
+void Ralloc::deallocate_huge(void* p, const SbMeta* meta) {
+  std::lock_guard lk(huge_mutex_);
+  huge_free_[meta->num_sbs].push_back(p);
+}
+
+void Ralloc::recover_blocks(
+    int shard, int nshards,
+    const std::function<bool(void*, std::size_t)>& keep) {
+  const uint64_t count = sb_count_->load(std::memory_order_relaxed);
+  // Sharding is by extent start so a huge extent is visited exactly once.
+  std::size_t extent_ordinal = 0;
+  std::size_t idx = 0;
+  while (idx < count) {
+    SbMeta* meta = sb_meta(idx);
+    const std::size_t extent_len =
+        meta->magic == kSbMagicHuge ? meta->num_sbs : 1;
+    if (static_cast<int>(extent_ordinal % nshards) == shard) {
+      if (meta->magic == kSbMagicHuge) {
+        void* blk = sb_base(idx) + kSbHeader;
+        const std::size_t bsz = extent_len * kSuperblockSize - kSbHeader;
+        if (!keep(blk, bsz)) {
+          std::lock_guard lk(huge_mutex_);
+          huge_free_[meta->num_sbs].push_back(blk);
+        }
+      } else {
+        const std::size_t bsz = meta->block_size;
+        const int cls = class_index(bsz);
+        char* blocks = sb_base(idx) + kSbHeader;
+        const std::size_t nblocks = (kSuperblockSize - kSbHeader) / bsz;
+        std::vector<void*> dead;
+        for (std::size_t i = 0; i < nblocks; ++i) {
+          void* blk = blocks + i * bsz;
+          if (!keep(blk, bsz)) dead.push_back(blk);
+        }
+        if (!dead.empty()) {
+          std::lock_guard lk(classes_[cls].m);
+          auto& central = classes_[cls].free_blocks;
+          central.insert(central.end(), dead.begin(), dead.end());
+        }
+      }
+    }
+    ++extent_ordinal;
+    idx += extent_len;
+  }
+}
+
+void Ralloc::recover_all(const std::function<bool(void*, std::size_t)>& keep,
+                         int nthreads) {
+  if (nthreads <= 1) {
+    recover_blocks(0, 1, keep);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(nthreads);
+  for (int t = 0; t < nthreads; ++t) {
+    workers.emplace_back(
+        [this, t, nthreads, &keep] { recover_blocks(t, nthreads, keep); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+Ralloc::Stats Ralloc::stats() const {
+  Stats s;
+  s.superblocks = sb_count_->load(std::memory_order_relaxed);
+  s.huge_extents = huge_extents_.load(std::memory_order_relaxed);
+  s.bytes_reserved = s.superblocks * kSuperblockSize;
+  return s;
+}
+
+}  // namespace montage::ralloc

@@ -1,0 +1,32 @@
+// Reusable sense-reversing spin barrier for benchmark start/stop alignment.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace montage::util {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t n) : total_(n) {}
+
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        std::this_thread::yield();  // single-core friendliness
+      }
+    }
+  }
+
+ private:
+  const std::size_t total_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace montage::util

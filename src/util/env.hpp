@@ -1,0 +1,29 @@
+// Environment-variable configuration helpers. Benches use these so one binary
+// serves both a CI-scale smoke run and a paper-scale sweep.
+#pragma once
+
+#include <cstdlib>
+#include <cstdint>
+#include <string>
+
+namespace montage::util {
+
+inline uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+inline std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+}  // namespace montage::util

@@ -1,0 +1,68 @@
+#include "util/hazard.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace montage::util {
+
+namespace {
+std::atomic<int> next_hazard_tid{0};
+thread_local int hazard_tid = -1;
+
+int my_tid() {
+  if (hazard_tid < 0) {
+    hazard_tid =
+        next_hazard_tid.fetch_add(1, std::memory_order_relaxed) %
+        HazardDomain::kMaxThreads;
+  }
+  return hazard_tid;
+}
+}  // namespace
+
+thread_local std::vector<HazardDomain::Retired> HazardDomain::retired_;
+
+HazardDomain& HazardDomain::global() {
+  static HazardDomain d;
+  return d;
+}
+
+void* HazardDomain::protect(int slot, void* ptr) {
+  slots_[my_tid()].hp[slot].store(ptr, std::memory_order_seq_cst);
+  return ptr;
+}
+
+void HazardDomain::clear(int slot) {
+  slots_[my_tid()].hp[slot].store(nullptr, std::memory_order_release);
+}
+
+void HazardDomain::clear_all() {
+  for (int s = 0; s < kSlotsPerThread; ++s) clear(s);
+}
+
+void HazardDomain::retire(void* ptr, std::function<void(void*)> deleter) {
+  retired_.push_back({ptr, std::move(deleter)});
+  if (retired_.size() >= kRetireThreshold) scan();
+}
+
+void HazardDomain::flush() { scan(); }
+
+void HazardDomain::scan() {
+  std::unordered_set<void*> protected_ptrs;
+  for (auto& s : slots_) {
+    for (auto& hp : s.hp) {
+      if (void* p = hp.load(std::memory_order_acquire)) protected_ptrs.insert(p);
+    }
+  }
+  std::vector<Retired> survivors;
+  survivors.reserve(retired_.size());
+  for (auto& r : retired_) {
+    if (protected_ptrs.contains(r.ptr)) {
+      survivors.push_back(std::move(r));
+    } else {
+      r.deleter(r.ptr);
+    }
+  }
+  retired_ = std::move(survivors);
+}
+
+}  // namespace montage::util

@@ -1,0 +1,63 @@
+// Hazard pointers for safe memory reclamation in the lock-free baseline
+// structures (SOFT, NVTraverse, Friedman queue). Montage itself does not need
+// them: payload reclamation is epoch-deferred and transient index nodes in the
+// shipped structures are lock-protected.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/padded.hpp"
+
+namespace montage::util {
+
+class HazardDomain {
+ public:
+  static constexpr int kMaxThreads = 256;
+  static constexpr int kSlotsPerThread = 4;
+  static constexpr std::size_t kRetireThreshold = 128;
+
+  static HazardDomain& global();
+
+  /// Publish `ptr` in slot `slot` for the calling thread and return it.
+  /// Caller must re-validate the source location after protecting.
+  void* protect(int slot, void* ptr);
+
+  /// Clear one slot / all of the calling thread's slots.
+  void clear(int slot);
+  void clear_all();
+
+  /// Defer reclamation of `ptr` until no thread protects it.
+  void retire(void* ptr, std::function<void(void*)> deleter);
+
+  /// Drain this thread's retire list regardless of threshold (tests, exit).
+  void flush();
+
+ private:
+  HazardDomain() = default;
+  void scan();
+
+  struct alignas(kCacheLineSize) Slots {
+    std::atomic<void*> hp[kSlotsPerThread]{};
+  };
+  struct Retired {
+    void* ptr;
+    std::function<void(void*)> deleter;
+  };
+
+  Slots slots_[kMaxThreads];
+  static thread_local std::vector<Retired> retired_;
+};
+
+/// RAII guard that clears this thread's hazard slots on scope exit.
+class HazardGuard {
+ public:
+  HazardGuard() = default;
+  ~HazardGuard() { HazardDomain::global().clear_all(); }
+  HazardGuard(const HazardGuard&) = delete;
+  HazardGuard& operator=(const HazardGuard&) = delete;
+};
+
+}  // namespace montage::util

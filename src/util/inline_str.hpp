@@ -1,0 +1,68 @@
+// Fixed-capacity inline string. Montage payloads must be trivially copyable
+// (they are cloned with memcpy and reinterpreted from raw NVM at recovery),
+// so keys and values are stored inline rather than via std::string. The
+// paper's workloads use exactly this shape: 32 B padded keys, 16 B - 4 KB
+// values.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace montage::util {
+
+template <std::size_t N>
+class InlineStr {
+ public:
+  InlineStr() { data_[0] = '\0'; }
+  InlineStr(std::string_view s) { assign(s); }  // NOLINT: implicit by design
+  InlineStr(const char* s) { assign(s); }       // NOLINT
+
+  void assign(std::string_view s) {
+    const std::size_t n = s.size() < N - 1 ? s.size() : N - 1;
+    std::memcpy(data_, s.data(), n);
+    data_[n] = '\0';
+  }
+
+  const char* c_str() const { return data_; }
+  std::string_view view() const { return std::string_view(data_); }
+  std::string str() const { return std::string(data_); }
+  std::size_t size() const { return view().size(); }
+  static constexpr std::size_t capacity() { return N - 1; }
+
+  friend bool operator==(const InlineStr& a, const InlineStr& b) {
+    return std::strcmp(a.data_, b.data_) == 0;
+  }
+  friend bool operator!=(const InlineStr& a, const InlineStr& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const InlineStr& a, const InlineStr& b) {
+    return std::strcmp(a.data_, b.data_) < 0;
+  }
+  friend bool operator>(const InlineStr& a, const InlineStr& b) {
+    return b < a;
+  }
+
+ private:
+  char data_[N];
+};
+
+template <std::size_t N>
+struct InlineStrHash {
+  std::size_t operator()(const InlineStr<N>& s) const {
+    return std::hash<std::string_view>{}(s.view());
+  }
+};
+
+}  // namespace montage::util
+
+namespace std {
+template <std::size_t N>
+struct hash<montage::util::InlineStr<N>> {
+  std::size_t operator()(const montage::util::InlineStr<N>& s) const {
+    return std::hash<std::string_view>{}(s.view());
+  }
+};
+}  // namespace std

@@ -1,0 +1,34 @@
+// Cache-line padded wrappers used to keep per-thread hot state on private
+// lines and avoid false sharing between worker threads.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace montage::util {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// T padded out to a multiple of the cache line size.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  Padded() = default;
+  template <typename... Args>
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+
+ private:
+  // Padding beyond sizeof(T); alignas handles the leading edge.
+  char pad_[kCacheLineSize - (sizeof(T) % kCacheLineSize == 0
+                                  ? kCacheLineSize
+                                  : sizeof(T) % kCacheLineSize)]{};
+};
+
+}  // namespace montage::util

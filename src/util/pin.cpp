@@ -1,0 +1,34 @@
+#include "util/pin.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace montage::util {
+
+int cpu_count() {
+#if defined(__linux__)
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+#else
+  return 1;
+#endif
+}
+
+bool pin_thread(int tid) {
+#if defined(__linux__)
+  const int ncpu = cpu_count();
+  if (ncpu <= 1) return false;  // nothing to pin to; avoid needless syscalls
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(tid % ncpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)tid;
+  return false;
+#endif
+}
+
+}  // namespace montage::util

@@ -1,0 +1,15 @@
+// Thread pinning in the paper's order: one thread per core on socket 0, then
+// that socket's hyperthreads, then socket 1. On machines without that
+// topology we fall back to round-robin over the available CPUs.
+#pragma once
+
+namespace montage::util {
+
+/// Pin the calling thread to the CPU chosen for logical bench thread `tid`.
+/// Returns false (and leaves affinity untouched) if pinning is unsupported.
+bool pin_thread(int tid);
+
+/// Number of CPUs usable by this process.
+int cpu_count();
+
+}  // namespace montage::util

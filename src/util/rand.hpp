@@ -1,0 +1,49 @@
+// Small, fast PRNGs for workload generation. Benchmarks need per-thread
+// generators with negligible cost, so we use xorshift128+ rather than
+// <random> engines on the measurement path.
+#pragma once
+
+#include <cstdint>
+
+namespace montage::util {
+
+/// xorshift128+ PRNG; statistically good enough for workload key draws and
+/// orders of magnitude faster than std::mt19937_64.
+class Xorshift128Plus {
+ public:
+  explicit Xorshift128Plus(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xorshift authors.
+    uint64_t z = seed;
+    for (auto* s : {&s0_, &s1_}) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      *s = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s0_ = 1;
+  }
+
+  uint64_t next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform draw in [0, bound). bound must be nonzero.
+  uint64_t next_bounded(uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace montage::util

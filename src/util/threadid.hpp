@@ -1,0 +1,61 @@
+// Process-wide dense thread ids with reuse. Montage's operation tracker and
+// per-thread buffers are arrays indexed by thread id; ids are recycled when a
+// thread exits so that long test runs with many short-lived threads never
+// alias two *live* threads onto one slot.
+#pragma once
+
+#include <cassert>
+#include <mutex>
+#include <vector>
+
+namespace montage::util {
+
+class ThreadIdPool {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  static int current() { return holder().id; }
+
+ private:
+  struct Holder {
+    int id;
+    Holder() : id(acquire()) {}
+    ~Holder() { release(id); }
+  };
+
+  static Holder& holder() {
+    static thread_local Holder h;
+    return h;
+  }
+
+  static std::mutex& mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static std::vector<int>& free_list() {
+    static std::vector<int> f;
+    return f;
+  }
+
+  static int acquire() {
+    std::lock_guard lk(mutex());
+    auto& f = free_list();
+    if (!f.empty()) {
+      int id = f.back();
+      f.pop_back();
+      return id;
+    }
+    static int next = 0;
+    assert(next < kMaxThreads && "too many concurrent threads");
+    return next++;
+  }
+
+  static void release(int id) {
+    std::lock_guard lk(mutex());
+    free_list().push_back(id);
+  }
+};
+
+inline int thread_id() { return ThreadIdPool::current(); }
+
+}  // namespace montage::util

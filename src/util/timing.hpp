@@ -1,0 +1,45 @@
+// Monotonic timing helpers shared by the epoch advancer, benches and tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace montage::util {
+
+using Clock = std::chrono::steady_clock;
+
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+inline double to_seconds(uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+/// Simple stopwatch for bench loops.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_s() const { return to_seconds(elapsed_ns()); }
+
+ private:
+  uint64_t start_;
+};
+
+/// Calibrated busy-wait used to emulate NVM write-back latency: sleeping is
+/// far too coarse at the tens-of-nanoseconds scale.
+inline void spin_for_ns(uint64_t ns) {
+  if (ns == 0) return;
+  const uint64_t deadline = now_ns() + ns;
+  while (now_ns() < deadline) {
+    // relax the pipeline; on x86 this lowers power and SMT contention
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace montage::util

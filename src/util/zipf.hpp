@@ -1,0 +1,65 @@
+// Zipfian key-chooser compatible with the YCSB distribution (Gray et al.'s
+// rejection-free algorithm, as used by YCSB's ZipfianGenerator). Needed for
+// the memcached/YCSB-A experiment (paper Fig. 10).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rand.hpp"
+
+namespace montage::util {
+
+class ZipfianGenerator {
+ public:
+  /// Draws in [0, n) with skew theta (YCSB default 0.99).
+  explicit ZipfianGenerator(uint64_t n, double theta = 0.99,
+                            uint64_t seed = 12345)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t next() {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  /// Scrambled variant (YCSB "scrambled zipfian"): spreads hot keys across
+  /// the key space so that hotness is not correlated with hash buckets.
+  uint64_t next_scrambled() {
+    uint64_t v = next();
+    v = fnv64(v);
+    return v % n_;
+  }
+
+ private:
+  static double zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  static uint64_t fnv64(uint64_t v) {
+    uint64_t hash = 0xCBF29CE484222325ull;
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (i * 8)) & 0xFF;
+      hash *= 0x100000001B3ull;
+    }
+    return hash;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Xorshift128Plus rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace montage::util

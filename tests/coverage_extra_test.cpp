@@ -1,0 +1,237 @@
+// Additional edge-case coverage: allocator internals, DCSS stress, region
+// backpressure, transient graph, Montage cache expiry, mixed payload sizes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "ds/transient_graph.hpp"
+#include "kvstore/memcache.hpp"
+#include "montage/dcss.hpp"
+#include "tests/test_env.hpp"
+
+namespace montage {
+namespace {
+
+using testing::PersistentEnv;
+
+EpochSys::Options no_advancer() {
+  EpochSys::Options o;
+  o.start_advancer = false;
+  return o;
+}
+
+// ---- Ralloc internals ---------------------------------------------------------
+
+TEST(RallocExtra, ThreadCacheOverflowReturnsBatchesToCentral) {
+  nvm::RegionOptions ro;
+  ro.size = 64 << 20;
+  nvm::Region region(ro);
+  ralloc::Ralloc ral(&region, ralloc::Ralloc::Mode::kFresh);
+  // Allocate and free far more than 2*batch (64) blocks: the overflow path
+  // must hand batches back without losing or duplicating blocks.
+  std::vector<void*> blocks;
+  for (int i = 0; i < 500; ++i) blocks.push_back(ral.allocate(64));
+  std::set<void*> uniq(blocks.begin(), blocks.end());
+  EXPECT_EQ(uniq.size(), blocks.size());
+  for (void* p : blocks) ral.deallocate(p);
+  // Everything is reusable; allocations never produce a block outside the
+  // original set plus at most one fresh superblock's worth.
+  std::set<void*> again;
+  for (int i = 0; i < 500; ++i) {
+    void* p = ral.allocate(64);
+    EXPECT_TRUE(again.insert(p).second);
+  }
+}
+
+TEST(RallocExtra, HugeExtentSurvivesRecoveryScan) {
+  nvm::RegionOptions ro;
+  ro.size = 64 << 20;
+  ro.mode = nvm::PersistMode::kTracked;
+  nvm::Region region(ro);
+  {
+    ralloc::Ralloc ral(&region, ralloc::Ralloc::Mode::kFresh);
+    char* huge = static_cast<char*>(ral.allocate(1 << 20));
+    std::memcpy(huge, "HUGE", 5);
+    region.persist_fence(huge, 5);
+  }
+  region.simulate_crash();
+  ralloc::Ralloc rec(&region, ralloc::Ralloc::Mode::kRecover);
+  int huge_seen = 0;
+  rec.recover_all([&](void* blk, std::size_t sz) {
+    if (sz >= (1 << 20)) {
+      ++huge_seen;
+      EXPECT_EQ(std::memcmp(blk, "HUGE", 5), 0);
+      return true;
+    }
+    return false;
+  });
+  EXPECT_EQ(huge_seen, 1);
+  // The kept huge extent is not handed out again.
+  void* p = rec.allocate(1 << 20);
+  EXPECT_NE(std::memcmp(p, "HUGE", 5), 0);
+}
+
+TEST(RallocExtra, BlockSizeForHugeCoversRequest) {
+  nvm::RegionOptions ro;
+  ro.size = 64 << 20;
+  nvm::Region region(ro);
+  ralloc::Ralloc ral(&region, ralloc::Ralloc::Mode::kFresh);
+  void* p = ral.allocate(300 * 1024);
+  EXPECT_GE(ral.block_size(p), 300u * 1024);
+  void* q = ral.allocate(65537);  // just over the largest small class
+  EXPECT_GE(ral.block_size(q), 65537u);
+}
+
+// ---- DCSS stress ---------------------------------------------------------------
+
+TEST(DcssExtra, MixedCasAndCasVerifyInterleave) {
+  PersistentEnv env(64 << 20, no_advancer());
+  EpochSys* es = env.esys();
+  AtomicVerifiable<uint64_t> cell(0);
+  std::atomic<bool> stop{false};
+  std::thread plain([&] {
+    uint64_t mine = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t cur = cell.load();
+      if (cur % 2 == 0 && cell.cas(cur, cur + 2)) ++mine;
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    es->begin_op();
+    const uint64_t cur = cell.load();
+    try {
+      cell.cas_verify(es, cur, cur + 2);
+    } catch (const EpochVerifyException&) {
+    }
+    es->end_op();
+    if (i % 100 == 0) es->advance_epoch();
+  }
+  stop.store(true);
+  plain.join();
+  EXPECT_EQ(cell.load() % 2, 0u);  // only even values ever installed
+}
+
+TEST(DcssExtra, DescriptorReuseAcrossManyTargets) {
+  // One thread's descriptor serves thousands of distinct words in a row;
+  // helpers racing on stale descriptors must never corrupt a target.
+  PersistentEnv env(64 << 20, no_advancer());
+  EpochSys* es = env.esys();
+  constexpr int kCells = 64;
+  AtomicVerifiable<uint64_t> cells[kCells];
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (auto& c : cells) {
+        EXPECT_LE(c.load(), 5000u);  // helped loads return clean values
+      }
+    }
+  });
+  es->begin_op();
+  for (int round = 0; round < 5000; ++round) {
+    auto& c = cells[round % kCells];
+    const uint64_t cur = c.load();
+    try {
+      c.cas_verify(es, cur, cur + 1);
+    } catch (const EpochVerifyException&) {
+      es->end_op();
+      es->begin_op();
+    }
+  }
+  es->end_op();
+  stop.store(true);
+  reader.join();
+  uint64_t total = 0;
+  for (auto& c : cells) total += c.load();
+  EXPECT_EQ(total, 5000u);
+}
+
+// ---- Region backpressure ---------------------------------------------------------
+
+TEST(RegionExtra, WpqBackpressureStallsHotIssuer) {
+  nvm::RegionOptions o;
+  o.size = 4 << 20;
+  o.mode = nvm::PersistMode::kLatency;
+  o.flush_latency_ns = 10000;  // 10 µs per line
+  o.wpq_backlog_ns = 20000;    // queue of ~2 lines
+  nvm::Region r(o);
+  char* p = r.arena_begin();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 20; ++i) r.persist(p + i * 64, 1);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  // 20 lines * 10 µs - 20 µs allowance: issuing alone must have stalled.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(dt).count(),
+            150);
+}
+
+// ---- Transient graph --------------------------------------------------------------
+
+TEST(TransientGraphExtra, MirrorsMontageGraphSemantics) {
+  ds::TransientGraph<uint64_t, uint64_t> g(256);
+  EXPECT_TRUE(g.add_vertex(1, 10));
+  EXPECT_FALSE(g.add_vertex(1, 11));
+  EXPECT_TRUE(g.add_vertex(2));
+  EXPECT_TRUE(g.add_edge(1, 2, 12));
+  EXPECT_FALSE(g.add_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_TRUE(g.remove_edge(1, 2));
+  EXPECT_EQ(g.edge_count(), 0u);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.remove_vertex(1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.vertex_count(), 1u);
+}
+
+TEST(TransientGraphExtra, NvmBackedVariantWorks) {
+  PersistentEnv env(64 << 20, no_advancer());
+  ds::TransientGraph<uint64_t, uint64_t, ds::NvmMem> g(128);
+  for (uint64_t v = 0; v < 50; ++v) g.add_vertex(v);
+  for (uint64_t v = 1; v < 50; ++v) g.add_edge(0, v);
+  EXPECT_EQ(g.edge_count(), 49u);
+  g.remove_vertex(0);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+// ---- Montage cache expiry -----------------------------------------------------------
+
+TEST(MontageCacheExtra, ExpiryIsLazyAndDurable) {
+  PersistentEnv env(128 << 20, no_advancer());
+  kvstore::MontageMemCache c(env.esys(), 2, 100);
+  c.set("k", "v", 0, /*exptime=*/100);
+  EXPECT_TRUE(c.get("k", nullptr, 50).has_value());
+  EXPECT_FALSE(c.get("k", nullptr, 150).has_value());  // lazily removed
+  env.esys()->sync();
+  auto survivors = env.crash_and_recover();
+  kvstore::MontageMemCache rec(env.esys(), 2, 100);
+  rec.recover(survivors);
+  EXPECT_EQ(rec.size(), 0u) << "lazy expiry must have deleted the payload";
+}
+
+// ---- Mixed payload sizes in one epoch system ----------------------------------------
+
+TEST(MixedPayloads, DifferentSizesShareRecovery) {
+  PersistentEnv env(128 << 20, no_advancer());
+  EpochSys* es = env.esys();
+  struct SmallP : public PBlk {
+    GENERATE_FIELD(uint64_t, v, SmallP);
+  };
+  struct BigP : public PBlk {
+    GENERATE_FIELD(uint64_t, v, BigP);
+    char pad[4000];
+  };
+  es->begin_op();
+  es->pnew<SmallP>()->set_v(1);
+  es->pnew<BigP>()->set_v(2);
+  es->end_op();
+  es->sync();
+  auto survivors = env.crash_and_recover();
+  ASSERT_EQ(survivors.size(), 2u);
+  std::set<uint64_t> sizes;
+  for (PBlk* b : survivors) sizes.insert(b->blk_size());
+  EXPECT_EQ(sizes.size(), 2u);  // both classes came back
+}
+
+}  // namespace
+}  // namespace montage

@@ -1,0 +1,254 @@
+// Montage general graph: vertex/edge operations, concurrent mutation with
+// ordered locking, and parallel crash recovery.
+#include "ds/montage_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/test_env.hpp"
+#include "util/rand.hpp"
+
+namespace montage {
+namespace {
+
+using Graph = ds::MontageGraph<uint64_t, uint64_t>;
+using testing::PersistentEnv;
+
+EpochSys::Options no_advancer() {
+  EpochSys::Options o;
+  o.start_advancer = false;
+  return o;
+}
+
+class GraphTest : public ::testing::Test {
+ protected:
+  GraphTest() : env_(128 << 20, no_advancer()) {
+    g_ = std::make_unique<Graph>(env_.esys(), 4096);
+  }
+  PersistentEnv env_;
+  std::unique_ptr<Graph> g_;
+};
+
+TEST_F(GraphTest, AddAndQueryVertices) {
+  EXPECT_TRUE(g_->add_vertex(1, 100));
+  EXPECT_FALSE(g_->add_vertex(1, 200));  // duplicate
+  EXPECT_TRUE(g_->has_vertex(1));
+  EXPECT_FALSE(g_->has_vertex(2));
+  EXPECT_EQ(*g_->vertex_attr(1), 100u);
+  EXPECT_EQ(g_->vertex_count(), 1u);
+}
+
+TEST_F(GraphTest, AddEdgeRequiresBothEndpoints) {
+  g_->add_vertex(1);
+  EXPECT_FALSE(g_->add_edge(1, 2));  // 2 missing
+  g_->add_vertex(2);
+  EXPECT_TRUE(g_->add_edge(1, 2, 77));
+  EXPECT_FALSE(g_->add_edge(1, 2));  // duplicate
+  EXPECT_FALSE(g_->add_edge(2, 1));  // undirected duplicate
+  EXPECT_TRUE(g_->has_edge(1, 2));
+  EXPECT_TRUE(g_->has_edge(2, 1));
+  EXPECT_EQ(*g_->edge_attr(2, 1), 77u);
+  EXPECT_EQ(g_->edge_count(), 1u);
+}
+
+TEST_F(GraphTest, SelfLoopsRejected) {
+  g_->add_vertex(1);
+  EXPECT_FALSE(g_->add_edge(1, 1));
+  EXPECT_FALSE(g_->has_edge(1, 1));
+}
+
+TEST_F(GraphTest, RemoveEdge) {
+  g_->add_vertex(1);
+  g_->add_vertex(2);
+  g_->add_edge(1, 2);
+  EXPECT_TRUE(g_->remove_edge(2, 1));
+  EXPECT_FALSE(g_->has_edge(1, 2));
+  EXPECT_FALSE(g_->remove_edge(1, 2));
+  EXPECT_EQ(g_->edge_count(), 0u);
+}
+
+TEST_F(GraphTest, RemoveVertexClearsAdjacentEdges) {
+  for (uint64_t v = 0; v < 5; ++v) g_->add_vertex(v);
+  for (uint64_t v = 1; v < 5; ++v) g_->add_edge(0, v);
+  g_->add_edge(1, 2);
+  EXPECT_EQ(g_->edge_count(), 5u);
+  EXPECT_TRUE(g_->remove_vertex(0));
+  EXPECT_FALSE(g_->has_vertex(0));
+  EXPECT_EQ(g_->edge_count(), 1u);  // only 1-2 remains
+  EXPECT_TRUE(g_->has_edge(1, 2));
+  EXPECT_FALSE(g_->has_edge(1, 0));
+  EXPECT_FALSE(g_->remove_vertex(0));
+  // Degree bookkeeping on the survivors is consistent.
+  EXPECT_EQ(*g_->degree(1), 1u);
+  EXPECT_EQ(*g_->degree(4), 0u);
+}
+
+TEST_F(GraphTest, DegreeTracksEdges) {
+  g_->add_vertex(1);
+  g_->add_vertex(2);
+  g_->add_vertex(3);
+  EXPECT_EQ(*g_->degree(1), 0u);
+  g_->add_edge(1, 2);
+  g_->add_edge(1, 3);
+  EXPECT_EQ(*g_->degree(1), 2u);
+  g_->remove_edge(1, 2);
+  EXPECT_EQ(*g_->degree(1), 1u);
+  EXPECT_FALSE(g_->degree(99).has_value());
+}
+
+TEST_F(GraphTest, ConcurrentEdgeChurnKeepsSymmetry) {
+  constexpr uint64_t kVerts = 64;
+  for (uint64_t v = 0; v < kVerts; ++v) g_->add_vertex(v);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      util::Xorshift128Plus rng(t + 17);
+      for (int i = 0; i < 3000; ++i) {
+        const uint64_t a = rng.next_bounded(kVerts);
+        const uint64_t b = rng.next_bounded(kVerts);
+        if (rng.next_bounded(2) == 0) {
+          g_->add_edge(a, b);
+        } else {
+          g_->remove_edge(a, b);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  // Symmetry invariant: has_edge(a,b) == has_edge(b,a), and edge_count
+  // equals the number of distinct adjacent pairs.
+  std::size_t pairs = 0;
+  for (uint64_t a = 0; a < kVerts; ++a) {
+    for (uint64_t b = a + 1; b < kVerts; ++b) {
+      const bool ab = g_->has_edge(a, b);
+      EXPECT_EQ(ab, g_->has_edge(b, a));
+      if (ab) ++pairs;
+    }
+  }
+  EXPECT_EQ(pairs, g_->edge_count());
+}
+
+TEST_F(GraphTest, ConcurrentVertexRemovalVsEdgeInsertion) {
+  constexpr uint64_t kVerts = 32;
+  for (uint64_t v = 0; v < kVerts; ++v) g_->add_vertex(v);
+  std::thread edges([&] {
+    util::Xorshift128Plus rng(5);
+    for (int i = 0; i < 5000; ++i) {
+      g_->add_edge(rng.next_bounded(kVerts), rng.next_bounded(kVerts));
+    }
+  });
+  std::thread removals([&] {
+    util::Xorshift128Plus rng(6);
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t v = rng.next_bounded(kVerts);
+      g_->remove_vertex(v);
+      g_->add_vertex(v);
+    }
+  });
+  edges.join();
+  removals.join();
+  // No dangling edges: every reported edge's endpoints exist.
+  for (uint64_t a = 0; a < kVerts; ++a) {
+    for (uint64_t b = a + 1; b < kVerts; ++b) {
+      if (g_->has_edge(a, b)) {
+        EXPECT_TRUE(g_->has_vertex(a));
+        EXPECT_TRUE(g_->has_vertex(b));
+      }
+    }
+  }
+}
+
+TEST_F(GraphTest, SetVertexAttrUpdatesInPlaceOrClones) {
+  g_->add_vertex(1, 10);
+  EXPECT_TRUE(g_->set_vertex_attr(1, 11));  // same epoch: in place
+  EXPECT_EQ(*g_->vertex_attr(1), 11u);
+  env_.esys()->advance_epoch();
+  EXPECT_TRUE(g_->set_vertex_attr(1, 12));  // cross-epoch: clones
+  EXPECT_EQ(*g_->vertex_attr(1), 12u);
+  EXPECT_FALSE(g_->set_vertex_attr(99, 1));
+}
+
+TEST_F(GraphTest, SetEdgeAttrSwingsBothAdjacencyEntries) {
+  g_->add_vertex(1);
+  g_->add_vertex(2);
+  g_->add_edge(1, 2, 100);
+  env_.esys()->advance_epoch();
+  EXPECT_TRUE(g_->set_edge_attr(1, 2, 200));  // clone: both sides must swing
+  EXPECT_EQ(*g_->edge_attr(1, 2), 200u);
+  EXPECT_EQ(*g_->edge_attr(2, 1), 200u);  // the other direction sees it too
+  EXPECT_FALSE(g_->set_edge_attr(1, 3, 1));
+}
+
+TEST_F(GraphTest, AttrUpdatesAreCrashConsistent) {
+  g_->add_vertex(1, 10);
+  g_->add_vertex(2, 20);
+  g_->add_edge(1, 2, 100);
+  env_.esys()->sync();
+  env_.esys()->advance_epoch();
+  g_->set_vertex_attr(1, 99);
+  g_->set_edge_attr(1, 2, 999);
+  auto survivors = env_.crash_and_recover();
+  Graph rec(env_.esys(), 4096);
+  rec.recover(survivors);
+  // Unsynced attribute updates roll back to the synced versions.
+  EXPECT_EQ(*rec.vertex_attr(1), 10u);
+  EXPECT_EQ(*rec.edge_attr(1, 2), 100u);
+}
+
+TEST_F(GraphTest, RecoversGraphAfterCrash) {
+  for (uint64_t v = 0; v < 20; ++v) g_->add_vertex(v, v * 10);
+  for (uint64_t v = 1; v < 20; ++v) g_->add_edge(0, v, v);
+  g_->add_edge(3, 4, 34);
+  g_->remove_edge(0, 5);
+  g_->remove_vertex(7);
+  env_.esys()->sync();
+  // Lost tail:
+  g_->add_vertex(999);
+  g_->add_edge(1, 2);
+
+  auto survivors = env_.crash_and_recover(2);
+  Graph recovered(env_.esys(), 4096);
+  recovered.recover(survivors, 2);
+  EXPECT_EQ(recovered.vertex_count(), 19u);
+  EXPECT_FALSE(recovered.has_vertex(7));
+  EXPECT_FALSE(recovered.has_vertex(999));
+  EXPECT_FALSE(recovered.has_edge(0, 5));
+  EXPECT_FALSE(recovered.has_edge(0, 7));  // removed with vertex 7
+  EXPECT_FALSE(recovered.has_edge(1, 2));  // post-sync: lost
+  EXPECT_TRUE(recovered.has_edge(3, 4));
+  EXPECT_EQ(*recovered.edge_attr(3, 4), 34u);
+  EXPECT_EQ(*recovered.vertex_attr(4), 40u);
+  // 19 spoke edges - removed(0,5) - removed-with-7 + (3,4) = 18
+  EXPECT_EQ(recovered.edge_count(), 18u);
+  // Operational after recovery:
+  EXPECT_TRUE(recovered.add_vertex(7));
+  EXPECT_TRUE(recovered.add_edge(7, 0));
+}
+
+TEST_F(GraphTest, ParallelRecoveryMatchesSequential) {
+  util::Xorshift128Plus rng(42);
+  for (uint64_t v = 0; v < 200; ++v) g_->add_vertex(v);
+  for (int i = 0; i < 2000; ++i) {
+    g_->add_edge(rng.next_bounded(200), rng.next_bounded(200));
+  }
+  const std::size_t edges_before = g_->edge_count();
+  env_.esys()->sync();
+  auto survivors = env_.crash_and_recover(4);
+  Graph seq(env_.esys(), 4096);
+  seq.recover(survivors, 1);
+  Graph par(env_.esys(), 4096);
+  par.recover(survivors, 4);
+  EXPECT_EQ(seq.vertex_count(), 200u);
+  EXPECT_EQ(par.vertex_count(), 200u);
+  EXPECT_EQ(seq.edge_count(), edges_before);
+  EXPECT_EQ(par.edge_count(), edges_before);
+  for (uint64_t a = 0; a < 200; a += 7) {
+    for (uint64_t b = a + 1; b < 200; b += 11) {
+      EXPECT_EQ(seq.has_edge(a, b), par.has_edge(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace montage

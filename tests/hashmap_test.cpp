@@ -1,0 +1,214 @@
+// Montage hashmap: functional behaviour, concurrency, and recovery.
+#include "ds/montage_hashmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "ds/transient.hpp"
+#include "tests/test_env.hpp"
+#include "util/inline_str.hpp"
+#include "util/rand.hpp"
+
+namespace montage {
+namespace {
+
+using ds::MontageHashMap;
+using testing::PersistentEnv;
+using Key = util::InlineStr<32>;
+using Val = util::InlineStr<64>;
+using Map = MontageHashMap<Key, Val>;
+
+EpochSys::Options no_advancer() {
+  EpochSys::Options o;
+  o.start_advancer = false;
+  return o;
+}
+
+class HashMapTest : public ::testing::Test {
+ protected:
+  HashMapTest() : env_(64 << 20, no_advancer()) {
+    map_ = std::make_unique<Map>(env_.esys(), 1024);
+  }
+  PersistentEnv env_;
+  std::unique_ptr<Map> map_;
+};
+
+TEST_F(HashMapTest, PutThenGet) {
+  EXPECT_FALSE(map_->put("a", "1").has_value());
+  auto v = map_->get("a");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->str(), "1");
+}
+
+TEST_F(HashMapTest, GetMissingReturnsNullopt) {
+  EXPECT_FALSE(map_->get("nope").has_value());
+}
+
+TEST_F(HashMapTest, PutReturnsAndReplacesOldValue) {
+  map_->put("k", "old");
+  auto prev = map_->put("k", "new");
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(prev->str(), "old");
+  EXPECT_EQ(map_->get("k")->str(), "new");
+  EXPECT_EQ(map_->size(), 1u);
+}
+
+TEST_F(HashMapTest, InsertFailsOnDuplicate) {
+  EXPECT_TRUE(map_->insert("k", "1"));
+  EXPECT_FALSE(map_->insert("k", "2"));
+  EXPECT_EQ(map_->get("k")->str(), "1");
+}
+
+TEST_F(HashMapTest, RemoveReturnsValue) {
+  map_->put("k", "v");
+  auto r = map_->remove("k");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->str(), "v");
+  EXPECT_FALSE(map_->get("k").has_value());
+  EXPECT_FALSE(map_->remove("k").has_value());
+  EXPECT_EQ(map_->size(), 0u);
+}
+
+TEST_F(HashMapTest, CollidingKeysCoexist) {
+  // With 1024 buckets, these all land in distinct-or-same buckets; force
+  // collisions by count > buckets.
+  for (int i = 0; i < 3000; ++i) {
+    map_->put(Key(std::to_string(i)), Val(std::to_string(i * 2)));
+  }
+  EXPECT_EQ(map_->size(), 3000u);
+  for (int i = 0; i < 3000; ++i) {
+    auto v = map_->get(Key(std::to_string(i)));
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(v->str(), std::to_string(i * 2));
+  }
+}
+
+TEST_F(HashMapTest, UpdateAcrossEpochsClonesPayloadTransparently) {
+  map_->put("k", "v0");
+  env_.esys()->advance_epoch();
+  map_->put("k", "v1");  // forces a payload clone under the hood
+  EXPECT_EQ(map_->get("k")->str(), "v1");
+  env_.esys()->advance_epoch();
+  EXPECT_EQ(map_->remove("k")->str(), "v1");
+}
+
+TEST_F(HashMapTest, ConcurrentDisjointWriters) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        map_->put(Key(std::to_string(t * 100000 + i)), Val("x"));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(map_->size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST_F(HashMapTest, ConcurrentMixedWorkloadStaysConsistent) {
+  // Same-key churn from several threads with the advancer ticking.
+  env_.esys()->stop_advancer();
+  std::atomic<bool> stop{false};
+  std::thread ticker([&] {
+    while (!stop.load()) {
+      env_.esys()->advance_epoch();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      util::Xorshift128Plus rng(t);
+      for (int i = 0; i < 2000; ++i) {
+        const Key k(std::to_string(rng.next_bounded(50)));
+        switch (rng.next_bounded(3)) {
+          case 0:
+            map_->put(k, Val("v"));
+            break;
+          case 1:
+            map_->remove(k);
+            break;
+          default:
+            map_->get(k);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  stop.store(true);
+  ticker.join();
+  // Structural sanity: every key readable, size consistent with contents.
+  std::size_t found = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (map_->get(Key(std::to_string(i))).has_value()) ++found;
+  }
+  EXPECT_EQ(found, map_->size());
+}
+
+TEST_F(HashMapTest, RecoversContentsAfterCrash) {
+  for (int i = 0; i < 100; ++i) {
+    map_->put(Key(std::to_string(i)), Val(std::to_string(i)));
+  }
+  map_->remove(Key("5"));
+  map_->put(Key("7"), Val("updated"));
+  env_.esys()->sync();
+  auto survivors = env_.crash_and_recover(2);
+  Map recovered(env_.esys(), 1024);
+  recovered.recover(survivors, 2);
+  EXPECT_EQ(recovered.size(), 99u);
+  EXPECT_FALSE(recovered.get(Key("5")).has_value());
+  EXPECT_EQ(recovered.get(Key("7"))->str(), "updated");
+  for (int i = 0; i < 100; ++i) {
+    if (i == 5) continue;
+    ASSERT_TRUE(recovered.get(Key(std::to_string(i))).has_value()) << i;
+  }
+  // And the recovered map is fully operational.
+  recovered.put(Key("new"), Val("post-crash"));
+  EXPECT_EQ(recovered.get(Key("new"))->str(), "post-crash");
+}
+
+TEST_F(HashMapTest, UnsyncedTailIsLostButPrefixSurvives) {
+  for (int i = 0; i < 50; ++i) {
+    map_->put(Key(std::to_string(i)), Val("v"));
+  }
+  env_.esys()->sync();
+  for (int i = 50; i < 60; ++i) {
+    map_->put(Key(std::to_string(i)), Val("v"));
+  }
+  auto survivors = env_.crash_and_recover();
+  Map recovered(env_.esys(), 1024);
+  recovered.recover(survivors);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(recovered.get(Key(std::to_string(i))).has_value()) << i;
+  }
+  // Keys 50..59 were in the crash window: all lost (single epoch, no sync).
+  EXPECT_EQ(recovered.size(), 50u);
+}
+
+TEST(TransientHashMap, BasicOperations) {
+  ds::TransientHashMap<Key, Val> m(256);
+  EXPECT_FALSE(m.put("a", "1").has_value());
+  EXPECT_EQ(m.get("a")->str(), "1");
+  EXPECT_EQ(m.put("a", "2")->str(), "1");
+  EXPECT_EQ(m.remove("a")->str(), "2");
+  EXPECT_FALSE(m.get("a").has_value());
+  EXPECT_FALSE(m.insert("b", "1") && m.insert("b", "2"));
+}
+
+TEST(TransientHashMap, NvmBackedVariant) {
+  PersistentEnv env(64 << 20);
+  ds::TransientHashMap<Key, Val, ds::NvmMem> m(256);
+  for (int i = 0; i < 200; ++i) m.put(Key(std::to_string(i)), Val("v"));
+  EXPECT_EQ(m.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(m.remove(Key(std::to_string(i))).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace montage

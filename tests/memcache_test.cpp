@@ -1,0 +1,222 @@
+// memcached-like cache: semantics (set/get/add/del, LRU eviction, expiry),
+// concurrency, YCSB generator, and crash recovery of the Montage variant.
+#include "kvstore/memcache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "kvstore/ycsb.hpp"
+#include "tests/test_env.hpp"
+
+namespace montage {
+namespace {
+
+using kvstore::CacheKey;
+using kvstore::CacheValue;
+using kvstore::MontageMemCache;
+using kvstore::TransientMemCache;
+using testing::PersistentEnv;
+
+EpochSys::Options no_advancer() {
+  EpochSys::Options o;
+  o.start_advancer = false;
+  return o;
+}
+
+TEST(TransientCache, SetGetDelete) {
+  TransientMemCache<> c(4, 100);
+  EXPECT_TRUE(c.set("k", "v"));
+  EXPECT_EQ(c.get("k")->str(), "v");
+  EXPECT_TRUE(c.del("k"));
+  EXPECT_FALSE(c.get("k").has_value());
+  EXPECT_FALSE(c.del("k"));
+}
+
+TEST(TransientCache, AddOnlyIfAbsent) {
+  TransientMemCache<> c(4, 100);
+  EXPECT_TRUE(c.add("k", "1"));
+  EXPECT_FALSE(c.add("k", "2"));
+  EXPECT_EQ(c.get("k")->str(), "1");
+}
+
+TEST(TransientCache, FlagsRoundTrip) {
+  TransientMemCache<> c(4, 100);
+  c.set("k", "v", 42);
+  uint32_t flags = 0;
+  c.get("k", &flags);
+  EXPECT_EQ(flags, 42u);
+}
+
+TEST(TransientCache, LruEvictionAtCapacity) {
+  TransientMemCache<> c(1, 3);  // one shard, capacity 3
+  c.set("a", "1");
+  c.set("b", "2");
+  c.set("c", "3");
+  c.get("a");      // refresh a: b is now the LRU victim
+  c.set("d", "4");  // evicts b
+  EXPECT_TRUE(c.get("a").has_value());
+  EXPECT_FALSE(c.get("b").has_value());
+  EXPECT_TRUE(c.get("c").has_value());
+  EXPECT_TRUE(c.get("d").has_value());
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(TransientCache, ExpiryIsLazy) {
+  TransientMemCache<> c(1, 10);
+  c.set("k", "v", 0, /*exptime=*/100);
+  EXPECT_TRUE(c.get("k", nullptr, 50).has_value());
+  EXPECT_FALSE(c.get("k", nullptr, 150).has_value());
+  EXPECT_FALSE(c.get("k", nullptr, 50).has_value());  // gone for good
+}
+
+TEST(TransientCache, StatsCountHitsAndMisses) {
+  TransientMemCache<> c(2, 10);
+  c.set("k", "v");
+  c.get("k");
+  c.get("nope");
+  auto s = c.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(MontageCache, SetGetDeleteAdd) {
+  PersistentEnv env(128 << 20, no_advancer());
+  MontageMemCache c(env.esys(), 4, 1000);
+  EXPECT_TRUE(c.set("k", "v", 7));
+  uint32_t flags = 0;
+  EXPECT_EQ(c.get("k", &flags)->str(), "v");
+  EXPECT_EQ(flags, 7u);
+  EXPECT_FALSE(c.add("k", "other"));
+  EXPECT_TRUE(c.del("k"));
+  EXPECT_FALSE(c.get("k").has_value());
+  EXPECT_TRUE(c.add("k", "2"));
+  EXPECT_EQ(c.get("k")->str(), "2");
+}
+
+TEST(MontageCache, UpdateAcrossEpochs) {
+  PersistentEnv env(128 << 20, no_advancer());
+  MontageMemCache c(env.esys(), 4, 1000);
+  c.set("k", "v0");
+  env.esys()->advance_epoch();
+  c.set("k", "v1");  // clones the payload
+  EXPECT_EQ(c.get("k")->str(), "v1");
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(MontageCache, EvictionDeletesPayloads) {
+  PersistentEnv env(128 << 20, no_advancer());
+  MontageMemCache c(env.esys(), 1, 3);
+  for (int i = 0; i < 6; ++i) {
+    c.set(CacheKey("k" + std::to_string(i)), "v");
+  }
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.stats().evictions, 3u);
+  // The evicted items must not come back after a crash either.
+  env.esys()->sync();
+  auto survivors = env.crash_and_recover();
+  MontageMemCache rec(env.esys(), 1, 3);
+  rec.recover(survivors);
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_FALSE(rec.get("k0").has_value());
+  EXPECT_TRUE(rec.get("k5").has_value());
+}
+
+TEST(MontageCache, CrashRecoveryKeepsSyncedItems) {
+  PersistentEnv env(128 << 20, no_advancer());
+  MontageMemCache c(env.esys(), 4, 1000);
+  for (int i = 0; i < 50; ++i) {
+    c.set(CacheKey("k" + std::to_string(i)),
+          CacheValue("v" + std::to_string(i)), i);
+  }
+  c.del("k3");
+  env.esys()->sync();
+  c.set("late", "lost");
+  auto survivors = env.crash_and_recover(2);
+  MontageMemCache rec(env.esys(), 4, 1000);
+  rec.recover(survivors);
+  EXPECT_EQ(rec.size(), 49u);
+  EXPECT_FALSE(rec.get("k3").has_value());
+  EXPECT_FALSE(rec.get("late").has_value());
+  uint32_t flags = 0;
+  EXPECT_EQ(rec.get("k7", &flags)->str(), "v7");
+  EXPECT_EQ(flags, 7u);
+  // Cache remains operational.
+  rec.set("post", "crash");
+  EXPECT_EQ(rec.get("post")->str(), "crash");
+}
+
+TEST(MontageCache, ConcurrentYcsbChurn) {
+  EpochSys::Options o;
+  o.epoch_length_ns = 1'000'000;
+  PersistentEnv env(256 << 20, o);
+  MontageMemCache c(env.esys(), 16, 100000);
+  kvstore::YcsbAGenerator::load(c, 2000, CacheValue("init"));
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      kvstore::YcsbAConfig cfg;
+      cfg.record_count = 2000;
+      kvstore::YcsbAGenerator gen(cfg, t + 1);
+      for (int i = 0; i < 3000; ++i) {
+        gen.apply(c, gen.next(), CacheValue("updated"));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(c.size(), 2000u);
+  auto s = c.stats();
+  EXPECT_GT(s.hits, 0u);
+}
+
+TEST(MontageCache, IncrDecrSemantics) {
+  PersistentEnv env(128 << 20, no_advancer());
+  MontageMemCache c(env.esys(), 4, 1000);
+  EXPECT_FALSE(c.incr("missing", 1).has_value());
+  c.set("n", "10");
+  EXPECT_EQ(*c.incr("n", 5), 15u);
+  EXPECT_EQ(c.get("n")->str(), "15");
+  EXPECT_EQ(*c.decr("n", 3), 12u);
+  EXPECT_EQ(*c.decr("n", 100), 0u);  // saturates at zero (memcached rule)
+  c.set("s", "not-a-number");
+  EXPECT_FALSE(c.incr("s", 1).has_value());
+}
+
+TEST(MontageCache, IncrementedCounterSurvivesCrash) {
+  PersistentEnv env(128 << 20, no_advancer());
+  MontageMemCache c(env.esys(), 4, 1000);
+  c.set("hits", "0");
+  for (int i = 0; i < 7; ++i) c.incr("hits", 1);
+  env.esys()->advance_epoch();
+  for (int i = 0; i < 3; ++i) c.incr("hits", 1);  // cross-epoch clones
+  env.esys()->sync();
+  c.incr("hits", 100);  // lost
+  auto survivors = env.crash_and_recover();
+  MontageMemCache rec(env.esys(), 4, 1000);
+  rec.recover(survivors);
+  EXPECT_EQ(rec.get("hits")->str(), "10");
+}
+
+TEST(YcsbGenerator, ZipfianSkewsTowardFewKeys) {
+  kvstore::YcsbAConfig cfg;
+  cfg.record_count = 10000;
+  kvstore::YcsbAGenerator gen(cfg, 7);
+  std::map<std::string, int> freq;
+  int reads = 0;
+  for (int i = 0; i < 20000; ++i) {
+    auto op = gen.next();
+    freq[op.key.str()]++;
+    if (op.type == kvstore::YcsbOp::kRead) ++reads;
+  }
+  // ~50/50 mix.
+  EXPECT_GT(reads, 8000);
+  EXPECT_LT(reads, 12000);
+  // Skew: the top key appears far more often than uniform (2 expected).
+  int top = 0;
+  for (auto& [k, n] : freq) top = std::max(top, n);
+  EXPECT_GT(top, 100);
+}
+
+}  // namespace
+}  // namespace montage

@@ -1,0 +1,72 @@
+// Tests for the mindicator (min-tracking tree).
+#include "montage/mindicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/rand.hpp"
+
+using montage::Mindicator;
+
+namespace {
+
+TEST(Mindicator, EmptyIsIdle) {
+  Mindicator m(8);
+  EXPECT_EQ(m.min(), Mindicator::kIdle);
+}
+
+TEST(Mindicator, SingleLeaf) {
+  Mindicator m(8);
+  m.set(3, 42);
+  EXPECT_EQ(m.min(), 42u);
+  EXPECT_EQ(m.get(3), 42u);
+  m.set(3, Mindicator::kIdle);
+  EXPECT_EQ(m.min(), Mindicator::kIdle);
+}
+
+TEST(Mindicator, MinOfSeveralLeaves) {
+  Mindicator m(16);
+  m.set(0, 10);
+  m.set(7, 5);
+  m.set(15, 20);
+  EXPECT_EQ(m.min(), 5u);
+  m.set(7, Mindicator::kIdle);
+  EXPECT_EQ(m.min(), 10u);
+  m.set(0, 30);
+  EXPECT_EQ(m.min(), 20u);
+}
+
+TEST(Mindicator, CapacityRoundsUpToPowerOfTwo) {
+  Mindicator m(5);
+  EXPECT_EQ(m.capacity(), 8);
+  m.set(4, 1);  // leaf beyond requested but within capacity
+  EXPECT_EQ(m.min(), 1u);
+}
+
+TEST(Mindicator, QuiescentExactnessAfterConcurrentChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2000;
+  Mindicator m(kThreads);
+  std::vector<uint64_t> final_vals(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      montage::util::Xorshift128Plus rng(t + 1);
+      uint64_t v = 0;
+      for (int i = 0; i < kRounds; ++i) {
+        v = rng.next_bounded(1000);
+        m.set(t, v);
+      }
+      final_vals[t] = v;
+    });
+  }
+  for (auto& th : ts) th.join();
+  // Re-propagate each leaf once: in quiescence the root must be exact.
+  for (int t = 0; t < kThreads; ++t) m.set(t, final_vals[t]);
+  EXPECT_EQ(m.min(), *std::min_element(final_vals.begin(), final_vals.end()));
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Unit tests for the emulated NVM region: flush/fence semantics, the crash
+// shadow, random eviction, statistics and root slots.
+#include "nvm/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+using montage::nvm::PersistMode;
+using montage::nvm::Region;
+using montage::nvm::RegionOptions;
+
+namespace {
+
+RegionOptions tracked(std::size_t size = 4 << 20) {
+  RegionOptions o;
+  o.size = size;
+  o.mode = PersistMode::kTracked;
+  return o;
+}
+
+TEST(Region, RejectsTinyRegion) {
+  RegionOptions o;
+  o.size = 1024;
+  EXPECT_THROW(Region r(o), std::invalid_argument);
+}
+
+TEST(Region, ArenaIsWritable) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  std::memset(p, 0xAB, 4096);
+  EXPECT_EQ(static_cast<unsigned char>(p[0]), 0xAB);
+  EXPECT_TRUE(r.contains(p));
+  EXPECT_FALSE(r.contains(reinterpret_cast<void*>(0x10)));
+}
+
+TEST(Region, UnpersistedStoreDiesAtCrash) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  p[0] = 'x';
+  r.simulate_crash();
+  EXPECT_EQ(p[0], '\0');
+}
+
+TEST(Region, FlushWithoutFenceDiesAtCrash) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  p[0] = 'x';
+  r.persist(p, 1);
+  // No fence: a crash may lose a flushed-but-unordered line.
+  r.simulate_crash();
+  EXPECT_EQ(p[0], '\0');
+}
+
+TEST(Region, FlushPlusFenceSurvivesCrash) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  p[0] = 'x';
+  r.persist(p, 1);
+  r.fence();
+  p[1] = 'y';  // written after the fence: dies
+  r.simulate_crash();
+  EXPECT_EQ(p[0], 'x');
+  EXPECT_EQ(p[1], '\0');
+}
+
+TEST(Region, PersistCoversWholeRange) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  std::memset(p, 'z', 300);
+  r.persist_fence(p, 300);
+  r.simulate_crash();
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(p[i], 'z') << i;
+}
+
+TEST(Region, PersistRangeIsLineGranular) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  p[0] = 'a';
+  p[70] = 'b';  // second line
+  r.persist_fence(p, 1);  // only line 0
+  r.simulate_crash();
+  EXPECT_EQ(p[0], 'a');
+  EXPECT_EQ(p[70], '\0');
+}
+
+TEST(Region, FenceCoversPeerFlushes) {
+  // A fence drains the shared write-pending queue: writes-back initiated by
+  // ANY thread become durable (Montage's epoch boundary depends on this).
+  Region r(tracked());
+  char* p = r.arena_begin();
+  p[0] = 'a';
+  r.persist(p, 1);  // flushed by main, never fenced by main
+  p[128] = 'c';     // written but never flushed: must still die
+  std::thread t([&] {
+    p[64] = 'b';
+    r.persist(p + 64, 1);
+    r.fence();  // commits main's line 0 too
+  });
+  t.join();
+  r.simulate_crash();
+  EXPECT_EQ(p[0], 'a');
+  EXPECT_EQ(p[64], 'b');
+  EXPECT_EQ(p[128], '\0');
+}
+
+TEST(Region, SecondCrashSeesOnlyRecommitted) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  p[0] = 'a';
+  r.persist_fence(p, 1);
+  r.simulate_crash();
+  p[0] = 'b';
+  r.simulate_crash();  // 'b' was never persisted
+  EXPECT_EQ(p[0], 'a');
+}
+
+TEST(Region, EvictRandomLinesMayPersistUnflushedData) {
+  Region r(tracked(1 << 20));
+  char* p = r.arena_begin();
+  std::memset(p, 'q', 1 << 19);
+  r.evict_random_lines(100000, 42);  // with this many draws, some lines land
+  r.simulate_crash();
+  int survived = 0;
+  for (int i = 0; i < (1 << 19); i += 64) {
+    if (p[i] == 'q') ++survived;
+  }
+  EXPECT_GT(survived, 0);
+}
+
+TEST(Region, StatsCountFlushesAndFences) {
+  Region r(tracked());
+  r.reset_stats();
+  char* p = r.arena_begin();
+  r.persist(p, 129);  // 3 lines
+  r.fence();
+  auto s = r.stats();
+  EXPECT_EQ(s.lines_flushed, 3u);
+  EXPECT_EQ(s.fences, 1u);
+  r.reset_stats();
+  s = r.stats();
+  EXPECT_EQ(s.lines_flushed, 0u);
+  EXPECT_EQ(s.fences, 0u);
+}
+
+TEST(Region, RootsPersistIndependently) {
+  Region r(tracked());
+  r.root(0).store(111, std::memory_order_relaxed);
+  r.root(3).store(333, std::memory_order_relaxed);
+  r.persist_fence(&r.root(0), 8);
+  r.simulate_crash();
+  EXPECT_EQ(r.root(0).load(std::memory_order_relaxed), 111u);
+  // Roots share the header line in this layout only if adjacent; root 3 was
+  // never flushed... but may share root 0's cache line. Just assert root 0.
+}
+
+TEST(Region, LatencyModeFencePaysForOutstandingDrain) {
+  RegionOptions o;
+  o.size = 4 << 20;
+  o.mode = PersistMode::kLatency;
+  o.flush_latency_ns = 200000;     // 0.2 ms drain per line: measurable
+  o.wpq_backlog_ns = 100'000'000;  // deep queue: no issue backpressure here
+  Region r(o);
+  char* p = r.arena_begin();
+  // Issuing writes-back is cheap...
+  auto t0 = std::chrono::steady_clock::now();
+  r.persist(p, 64 * 5);
+  auto issue = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::microseconds>(issue).count(),
+            500);
+  // ...the fence waits for the 5-line drain (~1 ms).
+  t0 = std::chrono::steady_clock::now();
+  r.fence();
+  auto drain = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(drain).count(),
+            800);
+  // A second fence with nothing outstanding is cheap again.
+  t0 = std::chrono::steady_clock::now();
+  r.fence();
+  auto empty = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::microseconds>(empty).count(),
+            500);
+}
+
+TEST(Region, FileBackedRegionPersistsAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/montage_region_test.bin";
+  ::unlink(path.c_str());
+  {
+    RegionOptions o;
+    o.size = 4 << 20;
+    o.path = path;
+    Region r(o);
+    std::memcpy(r.arena_begin(), "hello", 6);
+  }
+  {
+    RegionOptions o;
+    o.size = 4 << 20;
+    o.path = path;
+    Region r(o);
+    EXPECT_STREQ(r.arena_begin(), "hello");
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(Region, GlobalSingletonLifecycle) {
+  Region::init_global(tracked());
+  EXPECT_NE(Region::global(), nullptr);
+  Region::global()->arena_begin()[0] = 1;
+  Region::destroy_global();
+  Region::init_global(tracked());
+  EXPECT_NE(Region::global(), nullptr);
+  Region::destroy_global();
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Montage concurrent skip-list map: ordered semantics, concurrency, and
+// recovery.
+#include "ds/montage_skiplist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "tests/test_env.hpp"
+#include "util/rand.hpp"
+
+namespace montage {
+namespace {
+
+using ds::MontageSkipListMap;
+using testing::PersistentEnv;
+
+EpochSys::Options no_advancer() {
+  EpochSys::Options o;
+  o.start_advancer = false;
+  return o;
+}
+
+class SkipListTest : public ::testing::Test {
+ protected:
+  SkipListTest() : env_(128 << 20, no_advancer()) {
+    m_ = std::make_unique<MontageSkipListMap<uint64_t, uint64_t>>(env_.esys());
+  }
+  PersistentEnv env_;
+  std::unique_ptr<MontageSkipListMap<uint64_t, uint64_t>> m_;
+};
+
+TEST_F(SkipListTest, PutGetRemove) {
+  EXPECT_FALSE(m_->put(5, 50).has_value());
+  EXPECT_EQ(*m_->get(5), 50u);
+  EXPECT_EQ(*m_->put(5, 51), 50u);
+  EXPECT_EQ(*m_->remove(5), 51u);
+  EXPECT_FALSE(m_->get(5).has_value());
+  EXPECT_FALSE(m_->remove(5).has_value());
+}
+
+TEST_F(SkipListTest, InsertOnlyIfAbsent) {
+  EXPECT_TRUE(m_->insert(1, 10));
+  EXPECT_FALSE(m_->insert(1, 11));
+  EXPECT_EQ(*m_->get(1), 10u);
+}
+
+TEST_F(SkipListTest, ManyKeysSortedRange) {
+  for (uint64_t k : {50, 10, 90, 30, 70, 20, 80, 40, 60}) m_->put(k, k * 2);
+  EXPECT_EQ(m_->size(), 9u);
+  auto r = m_->range(25, 75);
+  ASSERT_EQ(r.size(), 5u);  // 30 40 50 60 70
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i].first, 30 + i * 10);
+    EXPECT_EQ(r[i].second, r[i].first * 2);
+  }
+}
+
+TEST_F(SkipListTest, BoundaryKeys) {
+  m_->put(0, 1);
+  m_->put(~0ull - 1, 2);
+  EXPECT_EQ(*m_->get(0), 1u);
+  EXPECT_EQ(*m_->get(~0ull - 1), 2u);
+  EXPECT_EQ(m_->range(0, ~0ull).size(), 2u);
+  EXPECT_EQ(*m_->remove(0), 1u);
+}
+
+TEST_F(SkipListTest, LargeSequentialAndReverseLoads) {
+  for (uint64_t k = 0; k < 2000; ++k) m_->put(k, k);
+  for (uint64_t k = 4000; k > 2000; --k) m_->put(k, k);
+  EXPECT_EQ(m_->size(), 4000u);
+  for (uint64_t k = 0; k < 4000; k += 97) {
+    if (k == 2000) continue;
+    ASSERT_TRUE(m_->get(k == 0 ? 0 : k).has_value()) << k;
+  }
+}
+
+TEST_F(SkipListTest, UpdateAcrossEpochsClones) {
+  m_->put(7, 70);
+  env_.esys()->advance_epoch();
+  m_->put(7, 71);
+  EXPECT_EQ(*m_->get(7), 71u);
+  EXPECT_EQ(m_->size(), 1u);
+}
+
+TEST_F(SkipListTest, ConcurrentDisjointInsertersAndReaders) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPer = 500;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPer; ++i) {
+        const uint64_t k = static_cast<uint64_t>(t) * 100000 + i;
+        EXPECT_TRUE(m_->insert(k, k));
+        EXPECT_EQ(*m_->get(k), k);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(m_->size(), kThreads * kPer);
+}
+
+TEST_F(SkipListTest, ConcurrentMixedChurnAgainstInvariants) {
+  std::atomic<bool> stop{false};
+  std::thread ticker([&] {
+    while (!stop.load()) {
+      env_.esys()->advance_epoch();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  std::atomic<int64_t> balance{0};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      util::Xorshift128Plus rng(t + 11);
+      for (int i = 0; i < 1200; ++i) {
+        const uint64_t k = rng.next_bounded(80);
+        switch (rng.next_bounded(3)) {
+          case 0:
+            if (m_->insert(k, i)) balance.fetch_add(1);
+            break;
+          case 1:
+            if (m_->remove(k).has_value()) balance.fetch_sub(1);
+            break;
+          default:
+            m_->get(k);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  stop.store(true);
+  ticker.join();
+  EXPECT_EQ(m_->size(), static_cast<std::size_t>(balance.load()));
+  // Range over everything is sorted and duplicate-free.
+  auto r = m_->range(0, 100);
+  EXPECT_EQ(r.size(), m_->size());
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    EXPECT_LT(r[i - 1].first, r[i].first);
+  }
+}
+
+TEST_F(SkipListTest, RecoveryRestoresSortedContents) {
+  std::map<uint64_t, uint64_t> model;
+  util::Xorshift128Plus rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t k = rng.next_bounded(100);
+    if (rng.next_bounded(4) == 0) {
+      m_->remove(k);
+      model.erase(k);
+    } else {
+      m_->put(k, i);
+      model[k] = i;
+    }
+  }
+  env_.esys()->sync();
+  m_->put(5000, 1);  // lost at crash
+  auto survivors = env_.crash_and_recover(2);
+  MontageSkipListMap<uint64_t, uint64_t> rec(env_.esys());
+  rec.recover(survivors);
+  EXPECT_EQ(rec.size(), model.size());
+  for (auto& [k, v] : model) {
+    auto got = rec.get(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_FALSE(rec.get(5000).has_value());
+  auto r = rec.range(0, 10000);
+  EXPECT_EQ(r.size(), model.size());
+  // Recovered structure remains fully functional at every level.
+  for (uint64_t k = 200; k < 260; ++k) rec.put(k, k);
+  EXPECT_EQ(*rec.get(230), 230u);
+  EXPECT_EQ(*rec.remove(230), 230u);
+}
+
+}  // namespace
+}  // namespace montage

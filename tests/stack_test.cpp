@@ -1,0 +1,127 @@
+// Nonblocking Montage stack (DCSS-based): LIFO semantics under concurrency
+// with the epoch ticking, and recovery ordering.
+#include "ds/montage_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "tests/test_env.hpp"
+
+namespace montage {
+namespace {
+
+using ds::MontageStack;
+using testing::PersistentEnv;
+
+EpochSys::Options no_advancer() {
+  EpochSys::Options o;
+  o.start_advancer = false;
+  return o;
+}
+
+class StackTest : public ::testing::Test {
+ protected:
+  StackTest() : env_(64 << 20, no_advancer()) {
+    s_ = std::make_unique<MontageStack<uint64_t>>(env_.esys());
+  }
+  PersistentEnv env_;
+  std::unique_ptr<MontageStack<uint64_t>> s_;
+};
+
+TEST_F(StackTest, LifoOrder) {
+  s_->push(1);
+  s_->push(2);
+  s_->push(3);
+  EXPECT_EQ(*s_->pop(), 3u);
+  EXPECT_EQ(*s_->pop(), 2u);
+  EXPECT_EQ(*s_->pop(), 1u);
+  EXPECT_FALSE(s_->pop().has_value());
+}
+
+TEST_F(StackTest, PushAcrossEpochTicks) {
+  s_->push(1);
+  env_.esys()->advance_epoch();
+  s_->push(2);
+  env_.esys()->advance_epoch();
+  EXPECT_EQ(*s_->pop(), 2u);
+  EXPECT_EQ(*s_->pop(), 1u);
+}
+
+TEST_F(StackTest, ConcurrentPushPopConservesElements) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> stop{false};
+  std::thread ticker([&] {
+    while (!stop.load()) {
+      env_.esys()->advance_epoch();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  std::vector<std::thread> ts;
+  std::atomic<uint64_t> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        s_->push(static_cast<uint64_t>(t) * 1000000 + i);
+        if (i % 2 == 0) {
+          auto v = s_->pop();
+          if (v.has_value()) {
+            popped_sum.fetch_add(*v);
+            popped_count.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  stop.store(true);
+  ticker.join();
+  // Drain the stack; pushes - pops must balance.
+  int remaining = 0;
+  uint64_t remaining_sum = 0;
+  while (auto v = s_->pop()) {
+    ++remaining;
+    remaining_sum += *v;
+  }
+  EXPECT_EQ(remaining + popped_count.load(), kThreads * kPerThread);
+  // Every pushed value accounted for exactly once.
+  uint64_t expect_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 1; i <= kPerThread; ++i) {
+      expect_sum += static_cast<uint64_t>(t) * 1000000 + i;
+    }
+  }
+  EXPECT_EQ(popped_sum.load() + remaining_sum, expect_sum);
+}
+
+TEST_F(StackTest, RecoversLifoOrderAfterCrash) {
+  for (uint64_t i = 1; i <= 10; ++i) s_->push(i);
+  s_->pop();  // 10 out
+  env_.esys()->sync();
+  s_->push(99);  // lost at crash
+  auto survivors = env_.crash_and_recover();
+  MontageStack<uint64_t> recovered(env_.esys());
+  recovered.recover(survivors);
+  for (uint64_t i = 9; i >= 1; --i) {
+    auto v = recovered.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(recovered.empty());
+}
+
+TEST_F(StackTest, EmptyStackRecovery) {
+  s_->push(1);
+  s_->pop();
+  env_.esys()->sync();
+  auto survivors = env_.crash_and_recover();
+  MontageStack<uint64_t> recovered(env_.esys());
+  recovered.recover(survivors);
+  EXPECT_TRUE(recovered.empty());
+}
+
+}  // namespace
+}  // namespace montage

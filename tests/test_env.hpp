@@ -1,0 +1,65 @@
+// Shared fixtures: a tracked-mode NVM region with allocator and epoch system,
+// plus the simulated crash-and-recover protocol used by the consistency
+// tests:
+//   1. quiesce workers and stop the background advancer;
+//   2. Region::simulate_crash() — every unpersisted line dies;
+//   3. rebuild Ralloc (Mode::kRecover) and EpochSys (recover=true) on the
+//      surviving image and run EpochSys::recover().
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "montage/epoch_sys.hpp"
+#include "montage/recoverable.hpp"
+#include "nvm/region.hpp"
+#include "ralloc/ralloc.hpp"
+
+namespace montage::testing {
+
+class PersistentEnv {
+ public:
+  explicit PersistentEnv(std::size_t region_size = 64ull << 20,
+                         EpochSys::Options opts = {},
+                         nvm::PersistMode mode = nvm::PersistMode::kTracked) {
+    nvm::RegionOptions ropts;
+    ropts.size = region_size;
+    ropts.mode = mode;
+    nvm::Region::init_global(ropts);
+    ral_ = std::make_unique<ralloc::Ralloc>(nvm::Region::global(),
+                                            ralloc::Ralloc::Mode::kFresh);
+    esys_ = std::make_unique<EpochSys>(ral_.get(), opts);
+    EpochSys::set_default_esys(esys_.get());
+  }
+
+  ~PersistentEnv() {
+    esys_.reset();
+    ral_.reset();
+    nvm::Region::destroy_global();
+  }
+
+  nvm::Region* region() { return nvm::Region::global(); }
+  ralloc::Ralloc* ral() { return ral_.get(); }
+  EpochSys* esys() { return esys_.get(); }
+
+  /// Crash and rebuild; returns the surviving payloads.
+  std::vector<PBlk*> crash_and_recover(int nthreads = 1,
+                                       EpochSys::Options opts = {}) {
+    esys_->stop_advancer();
+    region()->simulate_crash();
+    esys_.reset();  // must not touch the region after the crash image is set
+    ral_ = std::make_unique<ralloc::Ralloc>(region(),
+                                            ralloc::Ralloc::Mode::kRecover);
+    ralloc::Ralloc::set_default_instance(ral_.get());
+    esys_ = std::make_unique<EpochSys>(ral_.get(), opts, /*recover=*/true);
+    EpochSys::set_default_esys(esys_.get());
+    return esys_->recover(nthreads);
+  }
+
+ private:
+  std::unique_ptr<ralloc::Ralloc> ral_;
+  std::unique_ptr<EpochSys> esys_;
+};
+
+}  // namespace montage::testing
