@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# ASan+UBSan check: configure a dedicated build tree with
+# MONTAGE_SANITIZE=address,undefined, build everything, and run the test
+# suite. Pass extra ctest args through, e.g.:
+#   scripts/check.sh -L slow        # only the crash-enumeration sweep
+#   scripts/check.sh -R Ralloc      # a single suite
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DMONTAGE_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

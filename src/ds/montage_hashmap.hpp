@@ -178,6 +178,14 @@ class MontageHashMap : public Recoverable {
     for (auto& th : ts) th.join();
   }
 
+  /// As above, also retaining the epoch system's RecoveryReport so callers
+  /// can inspect what recovery discarded or quarantined while rebuilding.
+  void recover(const std::vector<PBlk*>& blocks, const RecoveryReport& report,
+               int nthreads = 1) {
+    recovery_report_ = report;
+    recover(blocks, nthreads);
+  }
+
  private:
   /// Transient index node (paper Fig. 2 `struct ListNode`).
   struct ListNode {

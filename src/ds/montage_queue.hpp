@@ -78,6 +78,12 @@ class MontageQueue : public Recoverable {
     next_sn_ = items_.empty() ? 1 : items_.back()->get_unsafe_sn() + 1;
   }
 
+  /// As above, also retaining the epoch system's RecoveryReport.
+  void recover(const std::vector<PBlk*>& blocks, const RecoveryReport& report) {
+    recovery_report_ = report;
+    recover(blocks);
+  }
+
  private:
   std::mutex lock_;
   std::deque<Payload*> items_;  ///< transient index, front = head

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <optional>
 
 #include "montage/dcss.hpp"
@@ -45,7 +46,9 @@ class MontageStack : public Recoverable {
   }
 
   void push(const V& val) {
-    auto* node = new Node();
+    // Owned until the CAS links it in, so an exception escaping the op
+    // (e.g. an injected crash) cannot leak the transient node.
+    auto node = std::make_unique<Node>();
     while (true) {
       esys_->begin_op();
       Node* h = head_.load();
@@ -59,7 +62,8 @@ class MontageStack : public Recoverable {
       node->sn = sn;
       node->next = h;
       try {
-        if (head_.cas_verify(esys_, h, node)) {
+        if (head_.cas_verify(esys_, h, node.get())) {
+          node.release();
           esys_->end_op();
           return;
         }
@@ -135,6 +139,12 @@ class MontageStack : public Recoverable {
       below = node;
     }
     head_.store(below);
+  }
+
+  /// As above, also retaining the epoch system's RecoveryReport.
+  void recover(const std::vector<PBlk*>& blocks, const RecoveryReport& report) {
+    recovery_report_ = report;
+    recover(blocks);
   }
 
  private:

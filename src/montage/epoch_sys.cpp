@@ -34,14 +34,18 @@ EpochSys::EpochSys(ralloc::Ralloc* ral, const Options& opts, bool recover)
     crash_epoch_ = clock_->load(std::memory_order_relaxed);
     assert(crash_epoch_ >= kFirstEpoch);
     // Resume two epochs later so every new label exceeds every survivor's.
+    // Deliberately NOT persisted here: recover() publishes the clock as its
+    // last step, so a crash anywhere during recovery re-reads the old
+    // durable clock and re-derives the same cutoff — recovery is idempotent
+    // under re-crash.
     clock_->store(crash_epoch_ + 2, std::memory_order_relaxed);
   } else {
     crash_epoch_ = 0;
     clock_->store(kFirstEpoch, std::memory_order_relaxed);
     uid_root_->store(1, std::memory_order_relaxed);
     region->persist(uid_root_, sizeof(*uid_root_));
+    region->persist_fence(clock_, sizeof(*clock_));
   }
-  region->persist_fence(clock_, sizeof(*clock_));
 
   EpochSys* expected = nullptr;
   g_default_esys.compare_exchange_strong(expected, this,
@@ -123,6 +127,7 @@ uint64_t EpochSys::begin_op() {
   }
   td.in_op = true;
   td.op_epoch = e;
+  td.op_new_blocks.clear();
   tls_esys = this;
 
   // Help any waiting sync(): write back our own stale buffers early.
@@ -137,6 +142,7 @@ uint64_t EpochSys::begin_op() {
     for (PBlk* p : adopted) {
       p->epoch_ = e;
       p->blktype_ = static_cast<uint32_t>(BlkType::kAlloc);
+      td.op_new_blocks.push_back(p);
       register_write(p);
     }
   }
@@ -149,6 +155,15 @@ uint64_t EpochSys::begin_op() {
     for (uint64_t x = lo; x <= hi; ++x) reclaim_list(td, x);
   }
   td.last_epoch = e;
+
+  // Snapshot the free-list high-water marks so abort_op can cancel exactly
+  // the pdelete/clone requests this operation queues. Taken after the
+  // local_free reclamation above, which may have swapped lists out.
+  {
+    std::lock_guard lk(td.m);
+    td.free_mark[0] = td.to_free[e % 4].size();
+    td.free_mark[1] = td.to_free[(e + 1) % 4].size();
+  }
   return e;
 }
 
@@ -163,6 +178,57 @@ void EpochSys::end_op() {
     } else if (opts_.write_back == WriteBack::kImmediate && td.wrote) {
       ral_->region()->fence();
     }
+    td.wrote = false;
+    td.active.store(kNoEpoch, std::memory_order_release);
+  }
+  td.op_new_blocks.clear();
+  td.in_op = false;
+  td.op_epoch = kNoEpoch;
+  tls_esys = nullptr;
+}
+
+void EpochSys::abort_op() noexcept {
+  ThreadData& td = my_td();
+  if (!td.in_op) return;
+  if (!opts_.transient) {
+    const uint64_t e = td.op_epoch;
+    {
+      std::lock_guard lk(td.m);
+      // Cancel the pdelete / ensure_writable requests this operation queued:
+      // their victims stay live in the structure. The size guard tolerates a
+      // list that was swapped out from under the mark (cannot happen while
+      // the op is still announced, but cheap to be safe about).
+      auto cancel = [](std::vector<PBlk*>& v, std::size_t mark) {
+        if (v.size() > mark) v.resize(mark);
+      };
+      cancel(td.to_free[e % 4], td.free_mark[0]);
+      cancel(td.to_free[(e + 1) % 4], td.free_mark[1]);
+      // Neutralize every block the operation allocated (payloads, clones,
+      // anti-payloads). The dead-mark is DRAM-only here — no persist or
+      // fence is issued, so abort_op cannot throw even while unwinding a
+      // CrashPointException. That is sufficient: if one of these headers
+      // already reached NVM (ring overflow, eviction), the ring entry
+      // ensured below rewrites it dead at the next epoch boundary, and a
+      // crash before that boundary has cutoff < e, which discards epoch-e
+      // blocks anyway.
+      auto& ring = td.to_persist[e % 4];
+      for (PBlk* p : td.op_new_blocks) {
+        p->magic_ = kPBlkDead;
+        if (std::find(ring.begin(), ring.end(), p) == ring.end()) {
+          // Re-enter the write-back ring, past its capacity bound if need
+          // be: bounded overflow would write back (an event that could
+          // throw), and the excess drains at the next epoch boundary.
+          if (ring.empty()) td.ring_epoch[e % 4] = e;
+          ring.push_back(p);
+        }
+        // Queue for the normal two-epoch-deferred reclamation, which
+        // persists the dead header before the memory is reused.
+        td.to_free[e % 4].push_back(p);
+      }
+      update_mindicator(td, static_cast<int>(&td - tds_.get()));
+    }
+    td.op_new_blocks.clear();
+    td.per_op_writes.clear();
     td.wrote = false;
     td.active.store(kNoEpoch, std::memory_order_release);
   }
@@ -208,6 +274,7 @@ void EpochSys::init_new_block(PBlk* p, std::size_t size) {
   if (td.in_op) {
     p->epoch_ = td.op_epoch;
     p->blktype_ = static_cast<uint32_t>(BlkType::kAlloc);
+    td.op_new_blocks.push_back(p);
     register_write(p);
   } else {
     // Early allocation: labeled when BEGIN_OP runs (paper §3.1).
@@ -231,6 +298,7 @@ PBlk* EpochSys::ensure_writable(PBlk* p) {
   auto* clone = static_cast<PBlk*>(static_cast<void*>(mem));
   clone->epoch_ = td.op_epoch;
   clone->blktype_ = static_cast<uint32_t>(BlkType::kUpdate);
+  td.op_new_blocks.push_back(clone);
   {
     std::lock_guard lk(td.m);
     td.to_free[td.op_epoch % 4].push_back(p);
@@ -298,6 +366,7 @@ void EpochSys::pdelete(PBlk* p) {
     anti->size_ = sizeof(PBlk);
     anti->epoch_ = e;
     anti->blktype_ = static_cast<uint32_t>(BlkType::kDelete);
+    td.op_new_blocks.push_back(anti);
     register_write(anti);
     std::lock_guard lk(td.m);
     td.to_free[(e + 1) % 4].push_back(anti);
@@ -307,7 +376,11 @@ void EpochSys::pdelete(PBlk* p) {
 
 // ---- write-back machinery ---------------------------------------------------
 
-void EpochSys::persist_block(const PBlk* p) {
+void EpochSys::persist_block(PBlk* p) {
+  // Seal the header immediately before write-back: recovery recomputes this
+  // checksum and quarantines any header that reached NVM some other way
+  // (torn across a line boundary, or evicted before it was ever sealed).
+  p->blk_seal();
   ral_->region()->persist(p, p->size_);
 }
 
@@ -413,30 +486,54 @@ void EpochSys::sync() {
 
 std::vector<PBlk*> EpochSys::recover(int nthreads) {
   assert(crash_epoch_ >= kFirstEpoch && "recover() requires recover=true");
+  // Keep the advancer (if running) from publishing the clock before the
+  // final persist below: idempotence under re-crash depends on the durable
+  // clock staying at its pre-crash value until classification is complete.
+  std::lock_guard advance_lk(advance_mutex_);
   const uint64_t cutoff = crash_epoch_ - 2;
   nvm::Region* region = ral_->region();
 
+  std::atomic<std::size_t> discarded_late{0};
+  std::atomic<std::size_t> quarantined{0};
   std::vector<std::vector<PBlk*>> shard_survivors(nthreads);
   auto scan_shard = [&](int shard) {
     auto& out = shard_survivors[shard];
-    ral_->recover_blocks(shard, nthreads, [&](void* blk, std::size_t bsz) {
-      auto* p = static_cast<PBlk*>(blk);
-      if (p->magic_ != kPBlkMagic) return false;  // never allocated, or dead
-      if (p->size_ < sizeof(PBlk) || p->size_ > bsz) {
-        // Torn header (crashed mid-write without a flush): discard.
-        p->magic_ = kPBlkDead;
-        region->persist(p, sizeof(PBlk));
-        return false;
-      }
-      if (p->epoch_ > cutoff) {
-        // Work from the crash epoch or the one before: rolled back.
-        p->magic_ = kPBlkDead;
-        region->persist(p, sizeof(PBlk));
-        return false;
-      }
-      out.push_back(p);
-      return true;
-    });
+    try {
+      ral_->recover_blocks(shard, nthreads, [&](void* blk, std::size_t bsz) {
+        auto* p = static_cast<PBlk*>(blk);
+        if (p->magic_ != kPBlkMagic) return false;  // never allocated, or dead
+        if (p->size_ < sizeof(PBlk) || p->size_ > bsz) {
+          // Torn header (crashed mid-write without a flush): quarantine.
+          quarantined.fetch_add(1, std::memory_order_relaxed);
+          p->magic_ = kPBlkDead;
+          region->persist(p, sizeof(PBlk));
+          return false;
+        }
+        if (!p->blk_checksum_ok()) {
+          // Header bits disagree with the sealed checksum: a line evicted
+          // before write-back sealed it, a header torn across a cache-line
+          // boundary, or media corruption. Quarantine, never trust.
+          quarantined.fetch_add(1, std::memory_order_relaxed);
+          p->magic_ = kPBlkDead;
+          region->persist(p, sizeof(PBlk));
+          return false;
+        }
+        if (p->epoch_ > cutoff) {
+          // Work from the crash epoch or the one before: rolled back.
+          discarded_late.fetch_add(1, std::memory_order_relaxed);
+          p->magic_ = kPBlkDead;
+          region->persist(p, sizeof(PBlk));
+          return false;
+        }
+        out.push_back(p);
+        return true;
+      });
+    } catch (const ralloc::RecoveryError&) {
+      // Corrupt allocator metadata surfacing this late (strict-mode Ralloc
+      // underneath): treat the rest of the shard as unrecoverable rather
+      // than aborting the whole recovery. Whatever the shard yielded before
+      // the corruption stays in `out`.
+    }
   };
   if (nthreads <= 1) {
     scan_shard(0);
@@ -474,6 +571,21 @@ std::vector<PBlk*> EpochSys::recover(int nthreads) {
   for (PBlk* p : losers) reclaim_now(p);
   region->fence();
   for (PBlk* p : losers) ral_->deallocate(p);
+
+  last_recovery_report_.recovered = result.size();
+  last_recovery_report_.discarded_late_epoch =
+      discarded_late.load(std::memory_order_relaxed);
+  last_recovery_report_.quarantined_corrupt =
+      quarantined.load(std::memory_order_relaxed);
+  last_recovery_report_.salvaged_superblocks =
+      ral_->recovery_summary().salvaged_superblocks;
+  last_recovery_report_.crash_epoch = crash_epoch_;
+  last_recovery_report_.cutoff_epoch = cutoff;
+
+  // Only now publish the resumed clock. Everything above re-runs to the
+  // same result if a crash lands anywhere inside recovery, because the
+  // durable clock — and hence the cutoff — has not moved yet.
+  region->persist_fence(clock_, sizeof(*clock_));
   return result;
 }
 

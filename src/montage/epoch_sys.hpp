@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -52,6 +53,19 @@ struct EpochVerifyException : public std::exception {
   const char* what() const noexcept override {
     return "montage: epoch advanced during the operation";
   }
+};
+
+/// What recovery found and what it had to discard, quarantine, or salvage,
+/// returned alongside the survivor list by EpochSys::recover(). A recovery
+/// that quarantines blocks still succeeds — corruption degrades capacity,
+/// never availability.
+struct RecoveryReport {
+  std::size_t recovered = 0;             ///< surviving payloads handed back
+  std::size_t discarded_late_epoch = 0;  ///< rolled back: epoch in {e, e-1}
+  std::size_t quarantined_corrupt = 0;   ///< torn size or failed checksum
+  std::size_t salvaged_superblocks = 0;  ///< allocator slots salvaged around
+  uint64_t crash_epoch = 0;   ///< epoch clock found in the crash image
+  uint64_t cutoff_epoch = 0;  ///< greatest epoch recovery keeps (crash - 2)
 };
 
 /// Write-back policies (paper Fig. 4/5/9 design space).
@@ -87,6 +101,15 @@ class EpochSys {
   /// operation's epoch. Lock-free: retries only when the epoch advances.
   uint64_t begin_op();
   void end_op();
+  /// Roll back the calling thread's active operation after it threw: every
+  /// payload the operation allocated is dead-marked (DRAM only — an aborted
+  /// epoch-e block can never survive a crash, since e > cutoff whenever the
+  /// crash happens) and withdrawn from the write-back ring, and pdelete
+  /// requests queued by the operation are cancelled. Issues no persist or
+  /// fence events and never throws, so it is safe during stack unwinding —
+  /// including unwinding a CrashPointException. No-op when no operation is
+  /// active.
+  void abort_op() noexcept;
   bool in_op() const;
   /// True iff the clock still equals the active operation's epoch.
   bool check_epoch() const;
@@ -162,6 +185,11 @@ class EpochSys {
   /// the result (filtered by blk_tag for multi-structure regions).
   std::vector<PBlk*> recover(int nthreads = 1);
 
+  /// Counters from the most recent recover() call on this instance.
+  const RecoveryReport& last_recovery_report() const {
+    return last_recovery_report_;
+  }
+
   ralloc::Ralloc* ralloc() const { return ral_; }
   const Options& options() const { return opts_; }
   const Mindicator& mindicator() const { return mind_; }
@@ -188,6 +216,9 @@ class EpochSys {
     std::vector<PBlk*> to_free[4];
     std::vector<PBlk*> pre_allocs;      ///< PNEW-before-BEGIN_OP payloads
     std::vector<PBlk*> per_op_writes;   ///< WriteBack::kPerOp staging
+    std::vector<PBlk*> op_new_blocks;   ///< blocks allocated by the active op
+    std::size_t free_mark[2] = {0, 0};  ///< to_free sizes at begin_op, for
+                                        ///< slots e%4 and (e+1)%4 (abort_op)
     uint64_t op_epoch = kNoEpoch;
     uint64_t last_epoch = 0;
     bool in_op = false;
@@ -207,8 +238,9 @@ class EpochSys {
   /// oldest entry. Caller holds td.m.
   void ring_push(ThreadData& td, uint64_t e, PBlk* p);
 
-  /// Write back a single payload (header + body).
-  void persist_block(const PBlk* p);
+  /// Seal the header checksum and write back a single payload (header +
+  /// body).
+  void persist_block(PBlk* p);
 
   /// Drain and write back one thread's ring for epoch `e`. Caller must NOT
   /// hold td.m. Returns number of blocks written back.
@@ -241,19 +273,32 @@ class EpochSys {
   std::thread advancer_;
   std::atomic<bool> stop_{false};
   bool advancer_running_ = false;
+  RecoveryReport last_recovery_report_;
 };
 
 /// RAII: begin_op on construction, end_op on destruction (the paper's
-/// BEGIN_OP_AUTOEND).
+/// BEGIN_OP_AUTOEND). When the scope is being unwound by an exception the
+/// destructor calls abort_op() instead, rolling back the half-applied
+/// operation rather than committing it.
 class MontageOpHolder {
  public:
-  explicit MontageOpHolder(EpochSys* esys) : esys_(esys) { esys_->begin_op(); }
-  ~MontageOpHolder() { esys_->end_op(); }
+  explicit MontageOpHolder(EpochSys* esys)
+      : esys_(esys), uncaught_(std::uncaught_exceptions()) {
+    esys_->begin_op();
+  }
+  ~MontageOpHolder() {
+    if (std::uncaught_exceptions() > uncaught_) {
+      esys_->abort_op();
+    } else {
+      esys_->end_op();
+    }
+  }
   MontageOpHolder(const MontageOpHolder&) = delete;
   MontageOpHolder& operator=(const MontageOpHolder&) = delete;
 
  private:
   EpochSys* esys_;
+  int uncaught_;
 };
 
 }  // namespace montage

@@ -51,8 +51,33 @@ class PBlk {
   /// payload type (e.g. graph vertices vs edges). Set after PNEW.
   void set_blk_tag(uint32_t tag) { user_tag_ = tag; }
 
+  /// Mixes every header word into a 64-bit check word (never 0, so the
+  /// zero-initialized "never sealed" state can never verify). EpochSys seals
+  /// the header at write-back time; the recovery perusal recomputes and
+  /// quarantines blocks whose stored word disagrees — a torn header (the
+  /// 48-byte header may straddle a cache-line boundary) or a line the cache
+  /// evicted mid-write.
+  uint64_t blk_header_checksum() const {
+    uint64_t h = 0x4d4f4e5441474531ull;  // "MONTAGE1"
+    const uint64_t words[] = {magic_, epoch_, uid_,
+                              (static_cast<uint64_t>(blktype_) << 32) |
+                                  user_tag_,
+                              size_};
+    for (uint64_t w : words) {
+      h ^= w;
+      h *= 0x9e3779b97f4a7c15ull;  // splitmix64-style diffusion
+      h ^= h >> 32;
+    }
+    return h | 1;
+  }
+  bool blk_checksum_ok() const { return checksum_ == blk_header_checksum(); }
+
  private:
   friend class EpochSys;
+
+  /// Stamp the checksum; called on the write-back path just before the
+  /// header lines are flushed.
+  void blk_seal() { checksum_ = blk_header_checksum(); }
 
   uint64_t magic_ = 0;
   uint64_t epoch_ = kNoEpoch;
@@ -60,9 +85,10 @@ class PBlk {
   uint32_t blktype_ = 0;
   uint32_t user_tag_ = 0;
   uint64_t size_ = 0;
+  uint64_t checksum_ = 0;
 };
 
 static_assert(std::is_trivially_copyable_v<PBlk>);
-static_assert(sizeof(PBlk) == 40);
+static_assert(sizeof(PBlk) == 48);
 
 }  // namespace montage

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -71,6 +72,11 @@ Region::Region(const RegionOptions& opts) : opts_(opts) {
   if (opts_.mode == PersistMode::kTracked) {
     shadow_ = std::make_unique<char[]>(opts_.size);
     std::memcpy(shadow_.get(), base_, opts_.size);  // initial image is durable
+    if (const char* at = std::getenv("MONTAGE_CRASH_AT");
+        at != nullptr && *at != '\0') {
+      crash_at_.store(std::strtoull(at, nullptr, 10),
+                      std::memory_order_relaxed);
+    }
   }
 }
 
@@ -103,9 +109,18 @@ std::atomic<uint64_t>& Region::root(int i) {
 
 Region::PendingLines& Region::my_pending() { return pending_[my_region_tid()]; }
 
+void Region::bump_event() {
+  const uint64_t n = events_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t target = crash_at_.load(std::memory_order_relaxed);
+  // Fires on equality only, so each arming interrupts exactly one event;
+  // later events (unwinding cleanup, recovery) run normally until re-armed.
+  if (target != 0 && n == target) throw CrashPointException{};
+}
+
 void Region::persist(const void* addr, std::size_t len) {
   if (len == 0) return;
   assert(contains(addr));
+  if (opts_.mode == PersistMode::kTracked) bump_event();
   const uint64_t first = line_of(addr);
   const uint64_t last = line_of(static_cast<const char*>(addr) + len - 1);
   const uint64_t nlines = last - first + 1;
@@ -137,6 +152,7 @@ void Region::persist(const void* addr, std::size_t len) {
 }
 
 void Region::fence() {
+  if (opts_.mode == PersistMode::kTracked) bump_event();
   fences_.fetch_add(1, std::memory_order_relaxed);
   switch (opts_.mode) {
     case PersistMode::kPassthrough:
@@ -161,7 +177,10 @@ void Region::fence() {
     }
     case PersistMode::kTracked: {
       // A drain covers the shared write-pending queue: commit every
-      // thread's outstanding writes-back (see header).
+      // thread's outstanding writes-back (see header). commit_m_ orders
+      // whole-line shadow copies against concurrent fences and eviction
+      // chaos (evict_random_lines from another thread).
+      std::lock_guard commit_lk(commit_m_);
       for (int t = 0; t < kMaxThreads; ++t) {
         auto& pend = pending_[t];
         std::lock_guard lk(pend.m);
@@ -180,16 +199,24 @@ void Region::commit_line(uint64_t line) {
 void Region::simulate_crash() {
   assert(opts_.mode == PersistMode::kTracked &&
          "simulate_crash requires kTracked mode");
-  // Callers quiesce all threads first; unfenced writes-back die with the
-  // "power failure" exactly as on hardware.
-  for (int t = 0; t < kMaxThreads; ++t) pending_[t].lines.clear();
+  // Callers quiesce worker threads first; unfenced writes-back die with the
+  // "power failure" exactly as on hardware. Locks are still taken so a
+  // straggling chaos thread cannot tear the restored image.
+  std::lock_guard commit_lk(commit_m_);
+  for (int t = 0; t < kMaxThreads; ++t) {
+    auto& pend = pending_[t];
+    std::lock_guard lk(pend.m);
+    pend.lines.clear();
+  }
   std::memcpy(base_, shadow_.get(), opts_.size);
 }
 
 void Region::evict_random_lines(uint64_t n, uint64_t seed) {
   assert(opts_.mode == PersistMode::kTracked);
+  bump_event();
   util::Xorshift128Plus rng(seed);
   const uint64_t nlines = opts_.size / kLine;
+  std::lock_guard commit_lk(commit_m_);
   for (uint64_t i = 0; i < n; ++i) commit_line(rng.next_bounded(nlines));
 }
 

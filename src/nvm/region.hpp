@@ -33,6 +33,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,6 +44,17 @@
 namespace montage::nvm {
 
 enum class PersistMode { kPassthrough, kLatency, kTracked };
+
+/// Thrown by persist()/fence()/evict_random_lines() in kTracked mode when an
+/// armed crash schedule reaches its event index (see Region::crash_at_event).
+/// The event it interrupts does NOT take effect — power failed just before
+/// it — so a harness that catches this, calls simulate_crash() and reruns
+/// recovery observes exactly the crash state at that persistence boundary.
+struct CrashPointException : public std::exception {
+  const char* what() const noexcept override {
+    return "nvm: scheduled crash point reached";
+  }
+};
 
 struct RegionOptions {
   std::size_t size = 64ull << 20;  ///< arena size in bytes (default 64 MiB)
@@ -110,8 +122,34 @@ class Region {
 
   /// kTracked only: spontaneously write back `n` random lines, emulating
   /// cache evictions of lines the program never flushed. Crash tests use
-  /// this to check that recovery tolerates torn, unfenced state.
+  /// this to check that recovery tolerates torn, unfenced state. Safe to
+  /// call from a chaos thread while workers persist/fence concurrently.
   void evict_random_lines(uint64_t n, uint64_t seed);
+
+  // ---- deterministic crash-schedule engine (kTracked only) -----------------
+  //
+  // Every persist()/fence()/evict_random_lines() call is a numbered
+  // "persistence event" (1-based, monotonic for the Region's lifetime,
+  // counting across simulate_crash() so recovery's own events keep
+  // numbering). A harness runs a workload once to learn the event count,
+  // then replays it with crash_at_event(n) armed for each n: the Nth event
+  // throws CrashPointException before taking effect. Arming an index at or
+  // below the current count never fires. The schedule fires at most once
+  // per arming, so persist/fence calls made while unwinding (or during the
+  // subsequent recovery, until re-armed) proceed normally.
+  //
+  // MONTAGE_CRASH_AT=<n> arms the schedule at construction, for driving
+  // whole binaries from the environment.
+
+  /// Number of persistence events issued so far (kTracked; else 0).
+  uint64_t persistence_events() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+  /// Arm the schedule: the event with 1-based index `n` throws. 0 disarms.
+  void crash_at_event(uint64_t n) {
+    crash_at_.store(n, std::memory_order_relaxed);
+  }
+  void clear_crash_schedule() { crash_at_event(0); }
 
   RegionStatsSnapshot stats() const;
   void reset_stats();
@@ -128,14 +166,19 @@ class Region {
   }
   void commit_line(uint64_t line);
   PendingLines& my_pending();
+  /// kTracked: count one persistence event; throw if the schedule fires.
+  void bump_event();
 
   RegionOptions opts_;
   char* base_ = nullptr;
   int fd_ = -1;
   std::unique_ptr<char[]> shadow_;  // kTracked persistent image
+  std::mutex commit_m_;  // kTracked: serializes shadow commits (fence/evict)
   std::unique_ptr<PendingLines[]> pending_;
   std::atomic<uint64_t> lines_flushed_{0};
   std::atomic<uint64_t> fences_{0};
+  std::atomic<uint64_t> events_{0};    // kTracked persistence-event clock
+  std::atomic<uint64_t> crash_at_{0};  // 0 = disarmed
 };
 
 /// Convenience wrappers against the global region.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace montage::ralloc {
@@ -35,7 +36,27 @@ constexpr int kSbCountRoot = 0;
 
 std::atomic<Ralloc*> g_default_ralloc{nullptr};
 
+const char* kind_name(RecoveryError::Kind k) {
+  switch (k) {
+    case RecoveryError::Kind::kSuperblockCount:
+      return "superblock count";
+    case RecoveryError::Kind::kHugeExtent:
+      return "huge extent";
+    case RecoveryError::Kind::kSizeClass:
+      return "size class";
+    case RecoveryError::Kind::kDescriptor:
+      return "superblock descriptor";
+  }
+  return "metadata";
+}
+
 }  // namespace
+
+RecoveryError::RecoveryError(Kind k, std::size_t idx)
+    : std::runtime_error(std::string("ralloc: corrupt ") + kind_name(k) +
+                         " at superblock " + std::to_string(idx)),
+      kind(k),
+      sb_index(idx) {}
 
 Ralloc* Ralloc::default_instance() {
   return g_default_ralloc.load(std::memory_order_acquire);
@@ -73,30 +94,81 @@ Ralloc::Ralloc(nvm::Region* region, Mode mode)
     region_->persist_fence(sb_count_, sizeof(*sb_count_));
     return;
   }
-  // kRecover: trust only fully initialized superblocks (those below the
-  // persisted high-water mark with a valid descriptor). Free lists stay
-  // empty until recover_blocks() classifies every slot.
-  const uint64_t count = sb_count_->load(std::memory_order_relaxed);
+  // kRecover / kRecoverStrict: trust only fully initialized superblocks
+  // (those below the persisted high-water mark with a valid descriptor).
+  // Free lists stay empty until recover_blocks() classifies every slot.
+  const bool strict = mode == Mode::kRecoverStrict;
+  uint64_t count = sb_count_->load(std::memory_order_relaxed);
   if (count > max_superblocks()) {
-    throw std::runtime_error("ralloc: corrupt superblock count");
+    if (strict) throw RecoveryError(RecoveryError::Kind::kSuperblockCount,
+                                    static_cast<std::size_t>(count));
+    // Salvage: the root word is garbage; re-derive the high-water mark by
+    // scanning the arena while descriptors chain validly. Descriptors are
+    // flushed before the count is published, so every real superblock is
+    // reachable this way; the rebuilt count is re-published durably so the
+    // next crash does not have to salvage again.
+    summary_.errors.emplace_back(RecoveryError::Kind::kSuperblockCount,
+                                 static_cast<std::size_t>(count));
+    count = rebuild_superblock_count();
+    summary_.count_rebuilt = true;
+    summary_.salvaged_superblocks += count;
+    sb_count_->store(count, std::memory_order_relaxed);
+    region_->persist_fence(sb_count_, sizeof(*sb_count_));
   }
+  validate_descriptors(count, strict);
+}
+
+uint64_t Ralloc::rebuild_superblock_count() const {
+  std::size_t idx = 0;
+  const std::size_t max = max_superblocks();
+  while (idx < max) {
+    const SbMeta* meta = sb_meta(idx);
+    if (meta->magic == kSbMagicSmall && class_index(meta->block_size) >= 0 &&
+        class_size(class_index(meta->block_size)) == meta->block_size) {
+      idx += 1;
+    } else if (meta->magic == kSbMagicHuge && meta->num_sbs > 0 &&
+               idx + meta->num_sbs <= max) {
+      idx += meta->num_sbs;
+    } else {
+      break;
+    }
+  }
+  return idx;
+}
+
+void Ralloc::validate_descriptors(uint64_t count, bool strict) {
+  auto corrupt = [&](RecoveryError::Kind kind, std::size_t idx) {
+    if (strict) throw RecoveryError(kind, idx);
+    // Salvage: quarantine this slot — it is skipped by the perusal and never
+    // returned to a free list — and resume the walk at the next slot.
+    summary_.errors.emplace_back(kind, idx);
+    summary_.salvaged_superblocks += 1;
+    extents_.push_back({idx, 1, 0, false, true});
+  };
   std::size_t idx = 0;
   while (idx < count) {
     SbMeta* meta = sb_meta(idx);
     if (meta->magic == kSbMagicHuge) {
       if (meta->num_sbs == 0 || idx + meta->num_sbs > count) {
-        throw std::runtime_error("ralloc: corrupt huge extent");
+        corrupt(RecoveryError::Kind::kHugeExtent, idx);
+        idx += 1;
+        continue;
       }
+      extents_.push_back({idx, meta->num_sbs, 0, true, false});
       huge_extents_.fetch_add(1, std::memory_order_relaxed);
       idx += meta->num_sbs;
     } else if (meta->magic == kSbMagicSmall) {
       if (class_index(meta->block_size) < 0 ||
           class_size(class_index(meta->block_size)) != meta->block_size) {
-        throw std::runtime_error("ralloc: corrupt size class");
+        corrupt(RecoveryError::Kind::kSizeClass, idx);
+        idx += 1;
+        continue;
       }
+      extents_.push_back({idx, 1, meta->block_size, false, false});
       idx += 1;
     } else {
-      throw std::runtime_error("ralloc: corrupt superblock descriptor");
+      corrupt(RecoveryError::Kind::kDescriptor, idx);
+      idx += 1;
     }
   }
 }
@@ -120,6 +192,8 @@ std::size_t Ralloc::reserve_superblocks(uint32_t n, uint64_t magic,
   // expose an initialized count covering a garbage descriptor.
   sb_count_->store(start + n, std::memory_order_release);
   region_->persist_fence(sb_count_, sizeof(*sb_count_));
+  extents_.push_back({static_cast<std::size_t>(start), n, block_size,
+                      magic == kSbMagicHuge, false});
   return start;
 }
 
@@ -235,41 +309,42 @@ void Ralloc::deallocate_huge(void* p, const SbMeta* meta) {
 void Ralloc::recover_blocks(
     int shard, int nshards,
     const std::function<bool(void*, std::size_t)>& keep) {
-  const uint64_t count = sb_count_->load(std::memory_order_relaxed);
-  // Sharding is by extent start so a huge extent is visited exactly once.
-  std::size_t extent_ordinal = 0;
-  std::size_t idx = 0;
-  while (idx < count) {
-    SbMeta* meta = sb_meta(idx);
-    const std::size_t extent_len =
-        meta->magic == kSbMagicHuge ? meta->num_sbs : 1;
-    if (static_cast<int>(extent_ordinal % nshards) == shard) {
-      if (meta->magic == kSbMagicHuge) {
-        void* blk = sb_base(idx) + kSbHeader;
-        const std::size_t bsz = extent_len * kSuperblockSize - kSbHeader;
-        if (!keep(blk, bsz)) {
-          std::lock_guard lk(huge_mutex_);
-          huge_free_[meta->num_sbs].push_back(blk);
-        }
-      } else {
-        const std::size_t bsz = meta->block_size;
-        const int cls = class_index(bsz);
-        char* blocks = sb_base(idx) + kSbHeader;
-        const std::size_t nblocks = (kSuperblockSize - kSbHeader) / bsz;
-        std::vector<void*> dead;
-        for (std::size_t i = 0; i < nblocks; ++i) {
-          void* blk = blocks + i * bsz;
-          if (!keep(blk, bsz)) dead.push_back(blk);
-        }
-        if (!dead.empty()) {
-          std::lock_guard lk(classes_[cls].m);
-          auto& central = classes_[cls].free_blocks;
-          central.insert(central.end(), dead.begin(), dead.end());
-        }
+  // Walk the extent map the recovery construction validated (or that fresh
+  // allocation built up) rather than re-reading descriptors, so a corrupt —
+  // quarantined — descriptor can never misdirect the perusal. Sharding is
+  // by extent ordinal so a huge extent is visited exactly once.
+  std::vector<Extent> snapshot;
+  {
+    std::lock_guard lk(sb_mutex_);
+    snapshot = extents_;
+  }
+  for (std::size_t ord = 0; ord < snapshot.size(); ++ord) {
+    if (static_cast<int>(ord % nshards) != shard) continue;
+    const Extent& ext = snapshot[ord];
+    if (ext.quarantined) continue;
+    if (ext.huge) {
+      void* blk = sb_base(ext.start) + kSbHeader;
+      const std::size_t bsz = ext.len * kSuperblockSize - kSbHeader;
+      if (!keep(blk, bsz)) {
+        std::lock_guard lk(huge_mutex_);
+        huge_free_[ext.len].push_back(blk);
+      }
+    } else {
+      const std::size_t bsz = ext.block_size;
+      const int cls = class_index(bsz);
+      char* blocks = sb_base(ext.start) + kSbHeader;
+      const std::size_t nblocks = (kSuperblockSize - kSbHeader) / bsz;
+      std::vector<void*> dead;
+      for (std::size_t i = 0; i < nblocks; ++i) {
+        void* blk = blocks + i * bsz;
+        if (!keep(blk, bsz)) dead.push_back(blk);
+      }
+      if (!dead.empty()) {
+        std::lock_guard lk(classes_[cls].m);
+        auto& central = classes_[cls].free_blocks;
+        central.insert(central.end(), dead.begin(), dead.end());
       }
     }
-    ++extent_ordinal;
-    idx += extent_len;
   }
 }
 

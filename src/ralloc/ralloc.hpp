@@ -20,12 +20,36 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "nvm/region.hpp"
 #include "util/padded.hpp"
 
 namespace montage::ralloc {
+
+/// A structurally invalid piece of persistent allocator metadata found while
+/// rebuilding after a crash: which structure was corrupt, and where.
+/// Mode::kRecoverStrict throws these; Mode::kRecover (the default recovery
+/// path) records them in the RecoverySummary and salvages around the damage.
+struct RecoveryError : public std::runtime_error {
+  enum class Kind {
+    kSuperblockCount,  ///< persisted high-water mark exceeds the arena
+    kHugeExtent,       ///< huge descriptor with zero/overflowing length
+    kSizeClass,        ///< small descriptor naming an unknown size class
+    kDescriptor,       ///< descriptor magic is neither small nor huge
+  };
+  RecoveryError(Kind k, std::size_t sb_index);
+  Kind kind;
+  std::size_t sb_index;  ///< superblock index of the corrupt structure
+};
+
+/// What corruption-tolerant recovery had to do to bring the allocator up.
+struct RecoverySummary {
+  std::size_t salvaged_superblocks = 0;  ///< slots quarantined or re-derived
+  bool count_rebuilt = false;  ///< high-water mark re-derived by scanning
+  std::vector<RecoveryError> errors;  ///< every corruption encountered
+};
 
 class Ralloc {
  public:
@@ -44,7 +68,10 @@ class Ralloc {
 
   enum class Mode {
     kFresh,    ///< format the arena (discard any previous contents)
-    kRecover,  ///< rebuild transient metadata from superblock descriptors
+    kRecover,  ///< rebuild from superblock descriptors, salvaging around
+               ///< corrupt metadata (quarantined slots are never reused)
+    kRecoverStrict,  ///< as kRecover, but throw RecoveryError on the first
+                     ///< corrupt structure instead of salvaging
   };
 
   Ralloc(nvm::Region* region, Mode mode);
@@ -86,6 +113,9 @@ class Ralloc {
   };
   Stats stats() const;
 
+  /// What the kRecover construction had to salvage (empty after kFresh).
+  const RecoverySummary& recovery_summary() const { return summary_; }
+
   nvm::Region* region() const { return region_; }
 
  private:
@@ -116,6 +146,18 @@ class Ralloc {
     return (region_->size() - nvm::Region::kHeaderSize) / kSuperblockSize;
   }
 
+  /// One validated run of superblocks: a small-class superblock, a huge
+  /// extent, or a quarantined slot salvage skipped. Built by the recovery
+  /// walk (and appended by reserve_superblocks) so the perusal never
+  /// re-reads a descriptor that failed validation.
+  struct Extent {
+    std::size_t start;
+    uint32_t len;         ///< superblocks covered
+    uint32_t block_size;  ///< small extents only
+    bool huge;
+    bool quarantined;
+  };
+
   /// Carve a fresh superblock for class `cls` and push its blocks centrally.
   /// Caller holds classes_[cls].m.
   void refill_class(int cls);
@@ -123,6 +165,14 @@ class Ralloc {
                                   uint32_t block_size);
   void* allocate_huge(std::size_t sz);
   void deallocate_huge(void* p, const SbMeta* meta);
+
+  /// Walk descriptors [0, count), validating each into extents_. Strict mode
+  /// throws RecoveryError at the first corruption; salvage mode quarantines
+  /// the slot and records the error in summary_.
+  void validate_descriptors(uint64_t count, bool strict);
+  /// Re-derive the superblock high-water mark by scanning from slot 0 while
+  /// descriptors chain validly (used when the persisted count is corrupt).
+  uint64_t rebuild_superblock_count() const;
 
   ThreadCache& my_cache();
 
@@ -135,6 +185,8 @@ class Ralloc {
   std::map<uint32_t, std::vector<void*>> huge_free_;  // extent len -> heads
   std::unique_ptr<ThreadCache[]> caches_;
   std::atomic<std::size_t> huge_extents_{0};
+  std::vector<Extent> extents_;  // guarded by sb_mutex_ after construction
+  RecoverySummary summary_;
 };
 
 }  // namespace montage::ralloc

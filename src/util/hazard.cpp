@@ -19,11 +19,50 @@ int my_tid() {
 }
 }  // namespace
 
-thread_local std::vector<HazardDomain::Retired> HazardDomain::retired_;
+thread_local HazardDomain::RetiredList HazardDomain::retired_;
 
 HazardDomain& HazardDomain::global() {
   static HazardDomain d;
   return d;
+}
+
+HazardDomain::~HazardDomain() {
+  // Static teardown: every thread's RetiredList is already gone, so nothing
+  // can still be protecting the orphans.
+  for (auto& r : orphans_) r.deleter(r.ptr);
+}
+
+HazardDomain::RetiredList::~RetiredList() {
+  // Thread-local destruction is sequenced before static destruction, so the
+  // domain singleton is still alive here. Clear this thread's slots first:
+  // a dying thread must not pin other threads' retirees forever.
+  auto& d = global();
+  d.clear_all();
+  const auto protected_ptrs = d.protected_set();
+  std::vector<Retired> still_protected;
+  for (auto& r : items) {
+    if (protected_ptrs.contains(r.ptr)) {
+      still_protected.push_back(std::move(r));
+    } else {
+      r.deleter(r.ptr);
+    }
+  }
+  if (!still_protected.empty()) {
+    std::lock_guard lk(d.orphans_m_);
+    for (auto& r : still_protected) d.orphans_.push_back(std::move(r));
+  }
+}
+
+std::unordered_set<void*> HazardDomain::protected_set() const {
+  std::unordered_set<void*> protected_ptrs;
+  for (auto& s : slots_) {
+    for (auto& hp : s.hp) {
+      if (void* p = hp.load(std::memory_order_acquire)) {
+        protected_ptrs.insert(p);
+      }
+    }
+  }
+  return protected_ptrs;
 }
 
 void* HazardDomain::protect(int slot, void* ptr) {
@@ -40,29 +79,36 @@ void HazardDomain::clear_all() {
 }
 
 void HazardDomain::retire(void* ptr, std::function<void(void*)> deleter) {
-  retired_.push_back({ptr, std::move(deleter)});
-  if (retired_.size() >= kRetireThreshold) scan();
+  retired_.items.push_back({ptr, std::move(deleter)});
+  if (retired_.items.size() >= kRetireThreshold) scan();
 }
 
 void HazardDomain::flush() { scan(); }
 
 void HazardDomain::scan() {
-  std::unordered_set<void*> protected_ptrs;
-  for (auto& s : slots_) {
-    for (auto& hp : s.hp) {
-      if (void* p = hp.load(std::memory_order_acquire)) protected_ptrs.insert(p);
-    }
-  }
+  const auto protected_ptrs = protected_set();
   std::vector<Retired> survivors;
-  survivors.reserve(retired_.size());
-  for (auto& r : retired_) {
+  survivors.reserve(retired_.items.size());
+  for (auto& r : retired_.items) {
     if (protected_ptrs.contains(r.ptr)) {
       survivors.push_back(std::move(r));
     } else {
       r.deleter(r.ptr);
     }
   }
-  retired_ = std::move(survivors);
+  retired_.items = std::move(survivors);
+
+  // Opportunistically reclaim orphans handed off by exited threads.
+  std::lock_guard lk(orphans_m_);
+  std::vector<Retired> keep;
+  for (auto& r : orphans_) {
+    if (protected_ptrs.contains(r.ptr)) {
+      keep.push_back(std::move(r));
+    } else {
+      r.deleter(r.ptr);
+    }
+  }
+  orphans_ = std::move(keep);
 }
 
 }  // namespace montage::util

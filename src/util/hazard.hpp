@@ -7,6 +7,8 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "util/padded.hpp"
@@ -46,9 +48,21 @@ class HazardDomain {
     void* ptr;
     std::function<void(void*)> deleter;
   };
+  /// Thread-exit drain: clears the thread's slots, reclaims the entries no
+  /// other thread still protects, and hands the rest to the domain's orphan
+  /// list (reclaimed by later scans, or unconditionally at domain teardown).
+  struct RetiredList {
+    std::vector<Retired> items;
+    ~RetiredList();
+  };
+
+  ~HazardDomain();
+  std::unordered_set<void*> protected_set() const;
 
   Slots slots_[kMaxThreads];
-  static thread_local std::vector<Retired> retired_;
+  std::mutex orphans_m_;
+  std::vector<Retired> orphans_;
+  static thread_local RetiredList retired_;
 };
 
 /// RAII guard that clears this thread's hazard slots on scope exit.

@@ -42,14 +42,49 @@ TEST(FailureInjection, AllocatorExhaustionSurfacesAsBadAlloc) {
         }
       },
       std::bad_alloc);
-  // The epoch system survives the exception (end_op was skipped inside the
-  // throwing iteration; recover the thread state and keep going).
-  if (es->in_op()) es->end_op();
+  // The epoch system survives the exception: abort_op rolls back the
+  // half-registered state of the throwing iteration, and work continues.
+  es->abort_op();
   es->begin_op();
   EXPECT_TRUE(es->check_epoch());
   es->end_op();
   EXPECT_NO_THROW(es->advance_epoch());
   EXPECT_NO_THROW(es->sync());
+}
+
+TEST(FailureInjection, AbortOpRollsBackPendingWork) {
+  // A throwing operation must leave no trace: its allocations may not
+  // survive a crash, and the pdelete victims it queued must stay alive.
+  PersistentEnv env(64 << 20, no_advancer());
+  EpochSys* es = env.esys();
+  struct P : public PBlk {
+    GENERATE_FIELD(uint64_t, val, P);
+  };
+  es->begin_op();
+  P* keeper = es->pnew<P>();
+  keeper->set_val(7);
+  es->end_op();
+  es->sync();
+
+  // Aborted op: allocates two payloads and deletes the durable one.
+  es->begin_op();
+  P* a = es->pnew<P>();
+  a->set_val(100);
+  P* b = es->pnew<P>();
+  b->set_val(101);
+  es->pdelete(keeper);
+  es->abort_op();
+  EXPECT_FALSE(es->in_op());
+
+  // The system keeps working after the abort.
+  es->begin_op();
+  EXPECT_TRUE(es->check_epoch());
+  es->end_op();
+  es->sync();
+
+  auto survivors = env.crash_and_recover();
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(static_cast<P*>(survivors[0])->get_unsafe_val(), 7u);
 }
 
 TEST(FailureInjection, EpochTickStormOnNonblockingStack) {
@@ -143,6 +178,42 @@ TEST(FailureInjection, EvictionChaosDuringWorkload) {
   }
   // Everything synced at i=50 must be there.
   for (int i = 0; i <= 50; ++i) {
+    EXPECT_TRUE(keys.contains(std::to_string(i))) << i;
+  }
+}
+
+TEST(FailureInjection, EvictionChaosFromSeparateThread) {
+  // A dedicated chaos thread evicts random lines and polls region stats
+  // concurrently with the worker's puts, fences, and epoch ticks — the
+  // shared write-pending queue and shadow image must never tear, and every
+  // synced key must still recover.
+  PersistentEnv env(64 << 20, no_advancer());
+  EpochSys* es = env.esys();
+  ds::MontageHashMap<Key, Val> map(es, 64);
+  std::atomic<bool> stop{false};
+  std::thread chaos([&] {
+    uint64_t seed = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      env.region()->evict_random_lines(500, seed++);
+      (void)env.region()->stats();
+      if (seed % 64 == 0) env.region()->reset_stats();
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    map.put(Key(std::to_string(i)), Val("v"));
+    if (i % 20 == 0) es->advance_epoch();
+    if (i == 100) es->sync();
+  }
+  stop.store(true);
+  chaos.join();
+  auto survivors = env.crash_and_recover(2);
+  std::set<std::string> keys;
+  for (PBlk* b : survivors) {
+    auto* p = static_cast<ds::MontageHashMap<Key, Val>::Payload*>(b);
+    EXPECT_TRUE(keys.insert(p->get_unsafe_key().str()).second);
+  }
+  // Everything synced at i=100 must be there.
+  for (int i = 0; i <= 100; ++i) {
     EXPECT_TRUE(keys.contains(std::to_string(i))) << i;
   }
 }

@@ -213,6 +213,85 @@ TEST_F(RallocTest, StatsReportReservedBytes) {
   EXPECT_EQ(s1.bytes_reserved, s1.superblocks * Ralloc::kSuperblockSize);
 }
 
+TEST_F(RallocTest, StrictRecoveryThrowsTypedErrorOnCorruptDescriptor) {
+  ral_->allocate(64);  // superblock 0 gets a small-class descriptor
+  region_->fence();
+  // Corrupt the descriptor magic durably, then crash.
+  auto* magic = reinterpret_cast<uint64_t*>(region_->arena_begin());
+  *magic = 0xBADBADBADBADBADull;
+  region_->persist(magic, sizeof(*magic));
+  region_->fence();
+  region_->simulate_crash();
+  try {
+    Ralloc strict(region_.get(), Ralloc::Mode::kRecoverStrict);
+    FAIL() << "expected RecoveryError";
+  } catch (const montage::ralloc::RecoveryError& e) {
+    EXPECT_EQ(e.kind, montage::ralloc::RecoveryError::Kind::kDescriptor);
+    EXPECT_EQ(e.sb_index, 0u);
+    EXPECT_NE(std::string(e.what()).find("descriptor"), std::string::npos);
+  }
+}
+
+TEST_F(RallocTest, SalvageQuarantinesCorruptDescriptor) {
+  ral_->allocate(64);                  // superblock 0: small class
+  void* huge = ral_->allocate(1 << 20);  // superblocks 1..n: huge extent
+  region_->fence();
+  auto* magic = reinterpret_cast<uint64_t*>(region_->arena_begin());
+  *magic = 0xBADBADBADBADBADull;
+  region_->persist(magic, sizeof(*magic));
+  region_->fence();
+  region_->simulate_crash();
+
+  Ralloc rec(region_.get(), Ralloc::Mode::kRecover);
+  const auto& sum = rec.recovery_summary();
+  EXPECT_EQ(sum.salvaged_superblocks, 1u);
+  EXPECT_FALSE(sum.count_rebuilt);
+  ASSERT_EQ(sum.errors.size(), 1u);
+  EXPECT_EQ(sum.errors[0].kind,
+            montage::ralloc::RecoveryError::Kind::kDescriptor);
+  EXPECT_EQ(sum.errors[0].sb_index, 0u);
+
+  // The perusal skips the quarantined slot entirely: every visited block
+  // lies beyond superblock 0. The huge extent is still found.
+  const char* sb1 = region_->arena_begin() + Ralloc::kSuperblockSize;
+  int visited = 0;
+  bool saw_huge = false;
+  rec.recover_all([&](void* p, std::size_t sz) {
+    EXPECT_GE(static_cast<char*>(p), sb1);
+    if (p == huge) saw_huge = true;
+    (void)sz;
+    ++visited;
+    return false;
+  });
+  EXPECT_GT(visited, 0);
+  EXPECT_TRUE(saw_huge);
+
+  // A quarantined superblock is never handed out again.
+  char* p = static_cast<char*>(rec.allocate(64));
+  EXPECT_GE(p, sb1);
+}
+
+TEST_F(RallocTest, CorruptSuperblockCountIsRebuiltByScanning) {
+  ral_->allocate(64);  // one real superblock
+  region_->fence();
+  // Trash the persistent high-water mark with an impossible value.
+  auto& count_root = region_->root(0);
+  count_root.store(~0ull, std::memory_order_relaxed);
+  region_->persist(&count_root, sizeof(count_root));
+  region_->fence();
+  region_->simulate_crash();
+
+  EXPECT_THROW(Ralloc(region_.get(), Ralloc::Mode::kRecoverStrict),
+               montage::ralloc::RecoveryError);
+
+  Ralloc rec(region_.get(), Ralloc::Mode::kRecover);
+  EXPECT_TRUE(rec.recovery_summary().count_rebuilt);
+  EXPECT_EQ(rec.stats().superblocks, 1u);
+  ASSERT_FALSE(rec.recovery_summary().errors.empty());
+  EXPECT_EQ(rec.recovery_summary().errors[0].kind,
+            montage::ralloc::RecoveryError::Kind::kSuperblockCount);
+}
+
 TEST_F(RallocTest, CrashBeforeDescriptorFlushLosesNothingValid) {
   // A crash immediately after construction (superblock counter = 0) must
   // recover to an empty allocator, not garbage.
