@@ -1,0 +1,107 @@
+// Figure 14 (extension): liveness under a stalled worker (DESIGN.md §8).
+// N-1 survivor threads run update operations while one thread wedges
+// mid-operation. Three configurations:
+//   healthy       — nobody stalls (upper bound);
+//   stall_noadopt — a thread wedges and adoption is disabled: the epoch
+//                   clock pins at the orphan's epoch, write-back buffers
+//                   and to_free lists grow unbounded, and sync never
+//                   completes;
+//   stall_adopt   — the same stall with a 10 ms adoption deadline: the
+//                   advancer adopts the orphan's buffers, aborts its op and
+//                   the clock keeps moving.
+// Reported per configuration:
+//   fig14,throughput,<cfg> — survivor throughput, Mops/s
+//   fig14,epoch_rate,<cfg> — epoch advances per second during the run
+//   fig14,sync_ms,<cfg>    — bounded sync_for(500ms) latency after the run
+//                            (clamped at the deadline when it times out)
+//   fig14,sync_ok,<cfg>    — 1 if that sync completed, 0 if it timed out
+#include <atomic>
+
+#include "bench/common.hpp"
+
+namespace montage::bench {
+namespace {
+
+struct Payload : public PBlk {
+  Payload() = default;
+  explicit Payload(uint64_t v) { m_val = v; }
+  GENERATE_FIELD(uint64_t, val, Payload);
+};
+
+void run_config(const Config& cfg, const std::string& name, bool stall,
+                uint64_t deadline_ns) {
+  BenchEnv env(cfg, 1ull << 30);
+  EpochSys::Options opts;
+  opts.epoch_length_ns = 1'000'000;  // 1 ms epochs: resolve the advance rate
+  opts.op_deadline_ns = deadline_ns;
+  env.make_esys(opts);
+  EpochSys* es = env.esys();
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> wedged{false};
+  std::thread orphan;
+  if (stall) {
+    orphan = std::thread([&] {
+      es->begin_op();
+      es->pnew<Payload>(~0ull);
+      wedged.store(true);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      es->end_op();  // a no-op if the operation was adopted meanwhile
+    });
+    while (!wedged.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  const uint64_t e0 = es->current_epoch();
+  const uint64_t t0 = util::now_ns();
+  const int survivors = std::max(1, cfg.max_threads - 1);
+  const double mops = run_throughput(
+      survivors, cfg.seconds, [&](int, util::Xorshift128Plus& rng, uint64_t) {
+        Payload* p = es->pnew<Payload>(rng.next());
+        es->begin_op();
+        es->pdelete(p);
+        es->end_op();
+      });
+  const double elapsed = util::to_seconds(util::now_ns() - t0);
+  const double epoch_rate =
+      static_cast<double>(es->current_epoch() - e0) / elapsed;
+
+  constexpr uint64_t kSyncDeadlineNs = 500'000'000;  // 500 ms
+  const uint64_t s0 = util::now_ns();
+  const bool ok = es->sync_for(kSyncDeadlineNs);
+  const double sync_ms = static_cast<double>(util::now_ns() - s0) / 1e6;
+
+  emit("fig14", "throughput", name, mops);
+  emit("fig14", "epoch_rate", name, epoch_rate);
+  emit("fig14", "sync_ms", name, sync_ms);
+  emit("fig14", "sync_ok", name, ok ? 1.0 : 0.0);
+
+  release.store(true);
+  if (orphan.joinable()) orphan.join();
+}
+
+void main_impl() {
+  const Config cfg = Config::from_env();
+  if (series_enabled("healthy")) {
+    run_config(cfg, "healthy", /*stall=*/false, /*deadline_ns=*/0);
+  }
+  if (series_enabled("stall_noadopt")) {
+    run_config(cfg, "stall_noadopt", /*stall=*/true, /*deadline_ns=*/0);
+  }
+  if (series_enabled("stall_adopt")) {
+    run_config(cfg, "stall_adopt", /*stall=*/true,
+               /*deadline_ns=*/10'000'000);
+  }
+}
+
+}  // namespace
+}  // namespace montage::bench
+
+int main() {
+  std::printf("figure,series,x,value\n");
+  montage::bench::main_impl();
+  return 0;
+}

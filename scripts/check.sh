@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# ASan+UBSan check: configure a dedicated build tree with
-# MONTAGE_SANITIZE=address,undefined, build everything, and run the test
-# suite. Pass extra ctest args through, e.g.:
-#   scripts/check.sh -L slow        # only the crash-enumeration sweep
-#   scripts/check.sh -R Ralloc      # a single suite
+# Sanitizer check: configure a dedicated build tree, build everything, and
+# run the test suite. MONTAGE_SANITIZE picks the sanitizer set (default
+# address,undefined); each set gets its own build tree. Pass extra ctest
+# args through, e.g.:
+#   scripts/check.sh -L slow                   # only the slow label
+#   scripts/check.sh -R Ralloc                 # a single suite
+#   MONTAGE_SANITIZE=thread scripts/check.sh   # TSan (races in the
+#                                              # advancer/watchdog/adoption
+#                                              # paths)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=${BUILD_DIR:-build-asan}
+SAN=${MONTAGE_SANITIZE:-address,undefined}
+BUILD_DIR=${BUILD_DIR:-build-${SAN//,/-}}
 
-cmake -B "$BUILD_DIR" -S . -DMONTAGE_SANITIZE=address,undefined
+cmake -B "$BUILD_DIR" -S . -DMONTAGE_SANITIZE="$SAN"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

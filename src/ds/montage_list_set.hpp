@@ -12,6 +12,7 @@
 // the normal epoch-deferred PDELETE path.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "montage/dcss.hpp"
@@ -46,25 +47,24 @@ class MontageListSet : public Recoverable {
   }
 
   bool insert(const K& key) {
-    auto* node = new Node();
+    auto node = std::make_unique<Node>();
     while (true) {
-      esys_->begin_op();
-      Payload* p = nullptr;
       try {
+        esys_->begin_op();
         auto [prev, curr] = search(key);
         if (curr != nullptr && curr->key == key) {
           esys_->end_op();
           clear_hazards();
-          delete node;
           return false;
         }
-        p = esys_->pnew<Payload>(key);
+        Payload* p = esys_->pnew<Payload>(key);
         p->set_blk_tag(kPayloadTag);
         node->key = key;
         node->payload = p;
         node->next.store(pack(curr, false));
         if (prev->next.cas_verify(esys_, pack(curr, false),
-                                  pack(node, false))) {
+                                  pack(node.get(), false))) {
+          node.release();
           esys_->end_op();
           clear_hazards();
           return true;
@@ -72,20 +72,24 @@ class MontageListSet : public Recoverable {
         esys_->pdelete(p);  // value raced: discard this epoch's payload
         esys_->end_op();
       } catch (const EpochVerifyException&) {
-        // Epoch ticked mid-operation: roll back and restart (paper §3.3).
-        if (p != nullptr) esys_->pdelete(p);
-        esys_->end_op();
+        // Epoch ticked mid-operation — or the op was adopted while this
+        // thread stalled. abort_op rolls the payload back; restart in the
+        // new epoch (paper §3.3).
+        esys_->abort_op();
       } catch (const OldSeeNewException&) {
-        if (p != nullptr) esys_->pdelete(p);
-        esys_->end_op();
+        esys_->abort_op();
+      } catch (...) {
+        esys_->abort_op();
+        clear_hazards();
+        throw;
       }
     }
   }
 
   bool remove(const K& key) {
     while (true) {
-      esys_->begin_op();
       try {
+        esys_->begin_op();
         auto [prev, curr] = search(key);
         if (curr == nullptr || !(curr->key == key)) {
           esys_->end_op();
@@ -110,9 +114,13 @@ class MontageListSet : public Recoverable {
         clear_hazards();
         return true;
       } catch (const EpochVerifyException&) {
-        esys_->end_op();
+        esys_->abort_op();
       } catch (const OldSeeNewException&) {
-        esys_->end_op();
+        esys_->abort_op();
+      } catch (...) {
+        esys_->abort_op();
+        clear_hazards();
+        throw;
       }
     }
   }

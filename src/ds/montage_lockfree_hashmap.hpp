@@ -65,11 +65,10 @@ class MontageLockFreeHashMap : public Recoverable {
 
   bool insert(const K& key, const V& val) {
     Node* head = bucket_of(key);
-    auto* node = new Node();
+    auto node = std::make_unique<Node>();
     while (true) {
-      esys_->begin_op();
-      Payload* p = nullptr;
       try {
+        esys_->begin_op();
         auto [prev, curr] = search(head, key);
         if (curr != nullptr && curr->key == key) {
           if (curr->payload.load() == nullptr) {
@@ -80,16 +79,16 @@ class MontageLockFreeHashMap : public Recoverable {
           }
           esys_->end_op();
           clear_hazards();
-          delete node;
           return false;
         }
-        p = esys_->pnew<Payload>(key, val);
+        Payload* p = esys_->pnew<Payload>(key, val);
         p->set_blk_tag(kPayloadTag);
         node->key = key;
         node->payload.store(p);
         node->next.store(pack(curr, false));
         if (prev->next.cas_verify(esys_, pack(curr, false),
-                                  pack(node, false))) {
+                                  pack(node.get(), false))) {
+          node.release();
           esys_->end_op();
           clear_hazards();
           size_.fetch_add(1, std::memory_order_relaxed);
@@ -98,11 +97,15 @@ class MontageLockFreeHashMap : public Recoverable {
         esys_->pdelete(p);
         esys_->end_op();
       } catch (const EpochVerifyException&) {
-        if (p != nullptr) esys_->pdelete(p);
-        esys_->end_op();
+        // Epoch tick or adoption-while-stalled: abort_op rolls the payload
+        // back; retry in the new epoch.
+        esys_->abort_op();
       } catch (const OldSeeNewException&) {
-        if (p != nullptr) esys_->pdelete(p);
-        esys_->end_op();
+        esys_->abort_op();
+      } catch (...) {
+        esys_->abort_op();
+        clear_hazards();
+        throw;
       }
     }
   }
@@ -111,8 +114,8 @@ class MontageLockFreeHashMap : public Recoverable {
   std::optional<V> put(const K& key, const V& val) {
     Node* head = bucket_of(key);
     while (true) {
-      esys_->begin_op();
       try {
+        esys_->begin_op();
         auto [prev, curr] = search(head, key);
         if (curr == nullptr || !(curr->key == key)) {
           esys_->end_op();
@@ -142,9 +145,13 @@ class MontageLockFreeHashMap : public Recoverable {
         esys_->pdelete(fresh);  // lost the race: discard (self-nullifies)
         esys_->end_op();
       } catch (const EpochVerifyException&) {
-        esys_->end_op();
+        esys_->abort_op();
       } catch (const OldSeeNewException&) {
-        esys_->end_op();
+        esys_->abort_op();
+      } catch (...) {
+        esys_->abort_op();
+        clear_hazards();
+        throw;
       }
     }
   }
@@ -152,8 +159,8 @@ class MontageLockFreeHashMap : public Recoverable {
   std::optional<V> get(const K& key) {
     Node* head = bucket_of(key);
     while (true) {
-      esys_->begin_op();
       try {
+        esys_->begin_op();
         auto [prev, curr] = search(head, key);
         std::optional<V> ret;
         if (curr != nullptr && curr->key == key &&
@@ -165,7 +172,11 @@ class MontageLockFreeHashMap : public Recoverable {
         clear_hazards();
         return ret;
       } catch (const OldSeeNewException&) {
-        esys_->end_op();  // payload from a newer epoch: retry in it
+        esys_->abort_op();  // payload from a newer epoch: retry in it
+      } catch (...) {
+        esys_->abort_op();
+        clear_hazards();
+        throw;
       }
     }
   }
@@ -173,8 +184,8 @@ class MontageLockFreeHashMap : public Recoverable {
   std::optional<V> remove(const K& key) {
     Node* head = bucket_of(key);
     while (true) {
-      esys_->begin_op();
       try {
+        esys_->begin_op();
         auto [prev, curr] = search(head, key);
         if (curr == nullptr || !(curr->key == key)) {
           esys_->end_op();
@@ -202,9 +213,13 @@ class MontageLockFreeHashMap : public Recoverable {
         size_.fetch_sub(1, std::memory_order_relaxed);
         return ret;
       } catch (const EpochVerifyException&) {
-        esys_->end_op();
+        esys_->abort_op();
       } catch (const OldSeeNewException&) {
-        esys_->end_op();
+        esys_->abort_op();
+      } catch (...) {
+        esys_->abort_op();
+        clear_hazards();
+        throw;
       }
     }
   }

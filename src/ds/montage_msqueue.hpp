@@ -51,31 +51,33 @@ class MontageMSQueue : public Recoverable {
   }
 
   void enqueue(const V& val) {
-    auto* node = new Node();
+    // Owned until the CAS links it in (exception safety, as in the stack).
+    auto node = std::make_unique<Node>();
     auto& hd = util::HazardDomain::global();
     while (true) {
-      esys_->begin_op();
-      Node* last = static_cast<Node*>(hd.protect(0, tail_.load()));
-      if (last != tail_.load()) {
-        esys_->end_op();
-        continue;
-      }
-      Node* next = last->next.load();
-      if (next != nullptr) {
-        // Help swing the tail; no persistence involved (transient index).
-        tail_.cas(last, next);
-        esys_->end_op();
-        continue;
-      }
-      const uint64_t sn = last->sn + 1;
-      Payload* p = esys_->pnew<Payload>(val, sn);
-      p->set_blk_tag(kPayloadTag);
-      node->payload.store(p, std::memory_order_relaxed);
-      node->sn = sn;
-      node->next.store(nullptr);
       try {
-        if (last->next.cas_verify(esys_, nullptr, node)) {
-          tail_.cas(last, node);
+        esys_->begin_op();
+        Node* last = static_cast<Node*>(hd.protect(0, tail_.load()));
+        if (last != tail_.load()) {
+          esys_->end_op();
+          continue;
+        }
+        Node* next = last->next.load();
+        if (next != nullptr) {
+          // Help swing the tail; no persistence involved (transient index).
+          tail_.cas(last, next);
+          esys_->end_op();
+          continue;
+        }
+        const uint64_t sn = last->sn + 1;
+        Payload* p = esys_->pnew<Payload>(val, sn);
+        p->set_blk_tag(kPayloadTag);
+        node->payload.store(p, std::memory_order_relaxed);
+        node->sn = sn;
+        node->next.store(nullptr);
+        if (last->next.cas_verify(esys_, nullptr, node.get())) {
+          tail_.cas(last, node.get());
+          node.release();
           esys_->end_op();
           hd.clear_all();
           return;
@@ -83,8 +85,13 @@ class MontageMSQueue : public Recoverable {
         esys_->pdelete(p);
         esys_->end_op();
       } catch (const EpochVerifyException&) {
-        esys_->pdelete(p);
-        esys_->end_op();
+        // Epoch ticked under the CAS, or the op was adopted while stalled:
+        // abort_op rolls the payload back; retry in the new epoch.
+        esys_->abort_op();
+      } catch (...) {
+        esys_->abort_op();
+        hd.clear_all();
+        throw;
       }
     }
   }
@@ -92,28 +99,28 @@ class MontageMSQueue : public Recoverable {
   std::optional<V> dequeue() {
     auto& hd = util::HazardDomain::global();
     while (true) {
-      esys_->begin_op();
-      Node* first = static_cast<Node*>(hd.protect(0, head_.load()));
-      if (first != head_.load()) {
-        esys_->end_op();
-        continue;
-      }
-      Node* next = static_cast<Node*>(hd.protect(1, first->next.load()));
-      if (first != head_.load()) {
-        esys_->end_op();
-        continue;
-      }
-      if (next == nullptr) {
-        esys_->end_op();
-        hd.clear_all();
-        return std::nullopt;
-      }
-      Payload* pl = next->payload.load(std::memory_order_acquire);
-      if (pl == nullptr) {  // a peer already consumed `next`
-        esys_->end_op();
-        continue;
-      }
       try {
+        esys_->begin_op();
+        Node* first = static_cast<Node*>(hd.protect(0, head_.load()));
+        if (first != head_.load()) {
+          esys_->end_op();
+          continue;
+        }
+        Node* next = static_cast<Node*>(hd.protect(1, first->next.load()));
+        if (first != head_.load()) {
+          esys_->end_op();
+          continue;
+        }
+        if (next == nullptr) {
+          esys_->end_op();
+          hd.clear_all();
+          return std::nullopt;
+        }
+        Payload* pl = next->payload.load(std::memory_order_acquire);
+        if (pl == nullptr) {  // a peer already consumed `next`
+          esys_->end_op();
+          continue;
+        }
         // Deferred reclamation keeps `pl` readable even if a peer wins the
         // race and pdeletes it; a failed cas_verify discards this read.
         std::optional<V> ret(pl->get_val());
@@ -128,9 +135,13 @@ class MontageMSQueue : public Recoverable {
         }
         esys_->end_op();
       } catch (const OldSeeNewException&) {
-        esys_->end_op();
+        esys_->abort_op();
       } catch (const EpochVerifyException&) {
-        esys_->end_op();
+        esys_->abort_op();
+      } catch (...) {
+        esys_->abort_op();
+        hd.clear_all();
+        throw;
       }
     }
   }

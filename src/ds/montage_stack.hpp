@@ -50,18 +50,18 @@ class MontageStack : public Recoverable {
     // (e.g. an injected crash) cannot leak the transient node.
     auto node = std::make_unique<Node>();
     while (true) {
-      esys_->begin_op();
-      Node* h = head_.load();
-      // The serial number orders the abstract stack bottom-to-top; it is
-      // derived from the head we CAS against, so a successful cas_verify
-      // makes it consistent.
-      const uint64_t sn = h == nullptr ? 1 : h->sn + 1;
-      Payload* p = esys_->pnew<Payload>(val, sn);
-      p->set_blk_tag(kPayloadTag);
-      node->payload = p;
-      node->sn = sn;
-      node->next = h;
       try {
+        esys_->begin_op();
+        Node* h = head_.load();
+        // The serial number orders the abstract stack bottom-to-top; it is
+        // derived from the head we CAS against, so a successful cas_verify
+        // makes it consistent.
+        const uint64_t sn = h == nullptr ? 1 : h->sn + 1;
+        Payload* p = esys_->pnew<Payload>(val, sn);
+        p->set_blk_tag(kPayloadTag);
+        node->payload = p;
+        node->sn = sn;
+        node->next = h;
         if (head_.cas_verify(esys_, h, node.get())) {
           node.release();
           esys_->end_op();
@@ -71,9 +71,15 @@ class MontageStack : public Recoverable {
         esys_->pdelete(p);
         esys_->end_op();
       } catch (const EpochVerifyException&) {
-        // Epoch ticked under the CAS: roll back, restart in the new epoch.
-        esys_->pdelete(p);
-        esys_->end_op();
+        // Epoch ticked under the CAS — or the op was adopted while we
+        // stalled. abort_op rolls the payload back; restart in a new epoch.
+        esys_->abort_op();
+      } catch (...) {
+        // PersistError, bad_alloc, an injected crash: the operation cannot
+        // commit. Roll back so the structure (and this thread's epoch slot)
+        // stays consistent, then surface the fault.
+        esys_->abort_op();
+        throw;
       }
     }
   }
@@ -81,18 +87,18 @@ class MontageStack : public Recoverable {
   std::optional<V> pop() {
     auto& hd = util::HazardDomain::global();
     while (true) {
-      esys_->begin_op();
-      Node* h = static_cast<Node*>(hd.protect(0, head_.load()));
-      if (h != head_.load()) {  // re-validate under the hazard
-        esys_->end_op();
-        continue;
-      }
-      if (h == nullptr) {
-        esys_->end_op();
-        hd.clear(0);
-        return std::nullopt;
-      }
       try {
+        esys_->begin_op();
+        Node* h = static_cast<Node*>(hd.protect(0, head_.load()));
+        if (h != head_.load()) {  // re-validate under the hazard
+          esys_->end_op();
+          continue;
+        }
+        if (h == nullptr) {
+          esys_->end_op();
+          hd.clear(0);
+          return std::nullopt;
+        }
         // Payload pushed in a later epoch than this operation's? get_val
         // alerts; restart in the newer epoch (paper §3.2).
         std::optional<V> ret(h->payload->get_val());
@@ -105,9 +111,13 @@ class MontageStack : public Recoverable {
         }
         esys_->end_op();
       } catch (const OldSeeNewException&) {
-        esys_->end_op();
+        esys_->abort_op();
       } catch (const EpochVerifyException&) {
-        esys_->end_op();
+        esys_->abort_op();
+      } catch (...) {
+        esys_->abort_op();
+        hd.clear(0);
+        throw;
       }
     }
   }

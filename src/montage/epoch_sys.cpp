@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <unordered_map>
 
 #include "nvm/region.hpp"
+#include "util/env.hpp"
 #include "util/timing.hpp"
 
 namespace montage {
@@ -17,6 +20,18 @@ constexpr int kUidRoot = 2;
 // First epoch; starting at 4 keeps (e-2)-style arithmetic trivially in range.
 constexpr uint64_t kFirstEpoch = 4;
 constexpr uint64_t kUidBatch = 1 << 16;
+// How long an emergency (allocation-backpressure) advance may block on a
+// wedged peer before the original bad_alloc is allowed to surface.
+constexpr uint64_t kEmergencyAdvanceBudgetNs = 100'000'000;
+// Cap on the exponential write-back retry backoff.
+constexpr uint64_t kMaxBackoffNs = 1'000'000;
+
+uint64_t xorshift64(uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
 
 thread_local EpochSys* tls_esys = nullptr;
 std::atomic<EpochSys*> g_default_esys{nullptr};
@@ -51,13 +66,30 @@ EpochSys::EpochSys(ralloc::Ralloc* ral, const Options& opts, bool recover)
   g_default_esys.compare_exchange_strong(expected, this,
                                          std::memory_order_acq_rel);
 
+  // Liveness knobs: env overrides (strictly validated — garbage must not
+  // silently disable a deadline a test believes is armed).
+  if (const uint64_t ms = util::env_u64_checked("MONTAGE_STALL_DEADLINE_MS", 0);
+      ms != 0) {
+    opts_.op_deadline_ns = ms * 1'000'000;
+  }
+  if (const uint64_t ms = util::env_u64_checked("MONTAGE_STALL_WATCHDOG_MS", 0);
+      ms != 0) {
+    opts_.watchdog_ns = ms * 1'000'000;
+  }
+  watchdog_ns_ = opts_.watchdog_ns != 0
+                     ? opts_.watchdog_ns
+                     : std::max<uint64_t>(10 * opts_.epoch_length_ns,
+                                          1'000'000);
+  last_tick_ns_.store(util::now_ns(), std::memory_order_relaxed);
+
   if (opts_.start_advancer && !opts_.transient) {
-    advancer_running_ = true;
-    advancer_ = std::thread([this] { advancer_loop(); });
+    std::lock_guard lk(advancer_mutex_);
+    start_advancer_locked();
   }
 }
 
 EpochSys::~EpochSys() {
+  shutdown_.store(true, std::memory_order_release);
   stop_advancer();
   EpochSys* self = this;
   g_default_esys.compare_exchange_strong(self, nullptr,
@@ -73,10 +105,32 @@ void EpochSys::set_default_esys(EpochSys* esys) {
 }
 
 void EpochSys::stop_advancer() {
-  if (!advancer_running_) return;
+  // Serialized against start/restart: a stop that races a watchdog restart
+  // either joins the fresh thread or prevents it from starting at all, and
+  // double stops (destructor after an explicit stop, stop before any start)
+  // find nothing joinable and return.
+  std::lock_guard lk(advancer_mutex_);
   stop_.store(true, std::memory_order_release);
-  advancer_.join();
-  advancer_running_ = false;
+  if (advancer_.joinable()) advancer_.join();
+  advancer_running_.store(false, std::memory_order_release);
+}
+
+void EpochSys::start_advancer() {
+  if (opts_.transient) return;
+  std::lock_guard lk(advancer_mutex_);
+  start_advancer_locked();
+}
+
+void EpochSys::start_advancer_locked() {
+  if (shutdown_.load(std::memory_order_acquire)) return;
+  if (advancer_running_.load(std::memory_order_acquire)) return;
+  if (advancer_.joinable()) advancer_.join();  // reap a dead advancer body
+  stop_.store(false, std::memory_order_release);
+  advancer_kill_.store(false, std::memory_order_release);
+  // Reset the staleness clock so a restart is not immediately re-flagged.
+  last_tick_ns_.store(util::now_ns(), std::memory_order_relaxed);
+  advancer_running_.store(true, std::memory_order_release);
+  advancer_ = std::thread([this] { advancer_loop(); });
 }
 
 void EpochSys::advancer_loop() {
@@ -85,7 +139,8 @@ void EpochSys::advancer_loop() {
     if (len >= 1'000'000) {
       // Sleep in <=1 ms slices so shutdown stays responsive.
       uint64_t remaining = len;
-      while (remaining > 0 && !stop_.load(std::memory_order_acquire)) {
+      while (remaining > 0 && !stop_.load(std::memory_order_acquire) &&
+             !advancer_kill_.load(std::memory_order_acquire)) {
         const uint64_t slice = std::min<uint64_t>(remaining, 1'000'000);
         std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
         remaining -= slice;
@@ -94,15 +149,33 @@ void EpochSys::advancer_loop() {
       util::spin_for_ns(len);
     }
     if (stop_.load(std::memory_order_acquire)) break;
-    advance_epoch();
+    if (advancer_kill_.exchange(false, std::memory_order_acq_rel)) {
+      break;  // simulated kill: die abruptly, stop flag untouched
+    }
+    try {
+      advance_epoch();
+    } catch (...) {
+      // A persist failure (or an injected crash point) reached the
+      // advancer. Dying silently is exactly what a real advancer thread
+      // would do; the workers' watchdog notices the stale clock, restarts
+      // us, and keeps the epoch moving meanwhile.
+      break;
+    }
   }
+  advancer_running_.store(false, std::memory_order_release);
 }
 
 // ---- operation lifecycle ----------------------------------------------------
 
 uint64_t EpochSys::begin_op() {
   ThreadData& td = my_td();
-  assert(!td.in_op && "nested operations are not supported");
+  if (td.in_op) {
+    // Tolerated only when the previous op was adopted while this thread
+    // stalled and it never acknowledged: clean the leftover state and rejoin.
+    assert(td.adopted.load(std::memory_order_acquire) &&
+           "nested operations are not supported");
+    finish_adopted_op(td);
+  }
   const int tid = util::thread_id();
   int hwm = tid_hwm_.load(std::memory_order_relaxed);
   while (tid >= hwm &&
@@ -115,6 +188,12 @@ uint64_t EpochSys::begin_op() {
     tls_esys = this;
     return 0;
   }
+  if (opts_.start_advancer) watchdog_poke(td);
+  td.last_op_adopted = false;
+  td.adopted.store(false, std::memory_order_relaxed);
+  // Heartbeat before announcing: wait_all must never see an announced epoch
+  // paired with a stale start time, or it would adopt a newborn op.
+  td.op_start_ns.store(util::now_ns(), std::memory_order_release);
   uint64_t e;
   // Announce atomically with reading the clock: register, then confirm the
   // clock did not move (paper Fig. 3, BEGIN_OP). Each retry implies the epoch
@@ -127,23 +206,49 @@ uint64_t EpochSys::begin_op() {
   }
   td.in_op = true;
   td.op_epoch = e;
-  td.op_new_blocks.clear();
   tls_esys = this;
+  // op_new_blocks is shared with a potential adopter, so it is only touched
+  // under td.m; the mindicator leaf is re-admitted in case a previous
+  // adoption parked it.
+  {
+    std::lock_guard lk(td.m);
+    td.op_new_blocks.clear();
+    if (mind_.parked(tid)) mind_.unpark(tid);
+  }
 
   // Help any waiting sync(): write back our own stale buffers early.
   if (syncs_pending_.load(std::memory_order_relaxed) > 0) {
-    if (drain_ring(td, e - 1) > 0) ral_->region()->fence();
+    if (drain_ring(td, e - 1) > 0) fence_retry();
   }
 
-  // Adopt payloads allocated before the operation began (paper §3.1).
+  // Label payloads allocated before the operation began (paper §3.1).
   if (!td.pre_allocs.empty()) {
-    std::vector<PBlk*> adopted;
-    adopted.swap(td.pre_allocs);
-    for (PBlk* p : adopted) {
-      p->epoch_ = e;
-      p->blktype_ = static_cast<uint32_t>(BlkType::kAlloc);
-      td.op_new_blocks.push_back(p);
-      register_write(p);
+    std::vector<PBlk*> pre;
+    pre.swap(td.pre_allocs);
+    std::size_t i = 0;
+    bool registered = false;
+    try {
+      for (; i < pre.size(); ++i) {
+        PBlk* p = pre[i];
+        registered = false;
+        p->epoch_ = e;
+        p->blktype_ = static_cast<uint32_t>(BlkType::kAlloc);
+        std::lock_guard lk(td.m);
+        if (td.adopted.load(std::memory_order_acquire)) {
+          throw OrphanedOperationException{};
+        }
+        td.op_new_blocks.push_back(p);
+        registered = true;
+        register_write_locked(td, p);
+      }
+    } catch (...) {
+      // Whatever entered op_new_blocks is the rollback's problem; the rest
+      // stays pre-allocated and rides into the caller's retry.
+      for (std::size_t j = i + (registered ? 1 : 0); j < pre.size(); ++j) {
+        pre[j]->epoch_ = kNoEpoch;
+        td.pre_allocs.push_back(pre[j]);
+      }
+      throw;
     }
   }
 
@@ -169,21 +274,84 @@ uint64_t EpochSys::begin_op() {
 
 void EpochSys::end_op() {
   ThreadData& td = my_td();
-  assert(td.in_op);
+  if (!td.in_op) {
+    // Tolerated after adoption: a resurrected thread whose op-body call
+    // already performed the owner-side cleanup (and threw) may still run
+    // its END_OP. Anything else is a caller bug.
+    assert(td.last_op_adopted && "end_op without an active operation");
+    return;
+  }
   if (!opts_.transient) {
-    if (opts_.write_back == WriteBack::kPerOp && !td.per_op_writes.empty()) {
-      for (PBlk* p : td.per_op_writes) persist_block(p);
-      td.per_op_writes.clear();
-      ral_->region()->fence();
-    } else if (opts_.write_back == WriteBack::kImmediate && td.wrote) {
-      ral_->region()->fence();
+    std::unique_lock lk(td.m);
+    if (td.adopted.load(std::memory_order_acquire)) {
+      // The op was rolled back by an adopter while we stalled: commit
+      // nothing. end_op must stay non-throwing (MontageOpHolder calls it
+      // from a destructor), so the adoption is reported via
+      // last_op_adopted() instead of an exception.
+      lk.unlock();
+      finish_adopted_op(td);
+      return;
     }
+    // Commit path. Flushes happen under td.m: once active is released an
+    // adopter can no longer interfere, but the flush itself must not race
+    // an adoption decision taken between the check above and the store.
+    //
+    // By the time end_op runs the operation has already linearized, so a
+    // write-back that exhausts its retries must NOT unwind with the op half
+    // open (the caller's abort path would roll back payloads the structure
+    // already links to). Instead: re-queue the unflushed blocks on the
+    // buffered ring — the next epoch boundary retries them — close the op
+    // as committed-with-deferred-durability, and only then rethrow.
+    std::exception_ptr persist_failure;
+    try {
+      if (opts_.write_back == WriteBack::kPerOp && !td.per_op_writes.empty()) {
+        for (PBlk* p : td.per_op_writes) persist_block(p);
+        fence_retry();
+      } else if (opts_.write_back == WriteBack::kImmediate && td.wrote) {
+        fence_retry();
+      }
+    } catch (...) {
+      persist_failure = std::current_exception();
+      try {
+        for (PBlk* p : td.per_op_writes) ring_push(td, td.op_epoch, p);
+      } catch (...) {
+        // Ring overflow write-back hit the same fault; whatever was queued
+        // before it stays queued. The rethrow below already reports the
+        // durability loss.
+      }
+    }
+    td.per_op_writes.clear();
     td.wrote = false;
+    td.op_new_blocks.clear();
+    td.op_start_ns.store(0, std::memory_order_release);
     td.active.store(kNoEpoch, std::memory_order_release);
+    lk.unlock();
+    td.in_op = false;
+    td.op_epoch = kNoEpoch;
+    tls_esys = nullptr;
+    if (persist_failure) std::rethrow_exception(persist_failure);
+    return;
   }
   td.op_new_blocks.clear();
   td.in_op = false;
   td.op_epoch = kNoEpoch;
+  tls_esys = nullptr;
+}
+
+void EpochSys::finish_adopted_op(ThreadData& td) {
+  {
+    std::lock_guard lk(td.m);
+    // The adopter already dead-marked and re-queued these blocks; only the
+    // owner-local bookkeeping remains.
+    td.op_new_blocks.clear();
+    td.adopted.store(false, std::memory_order_release);
+  }
+  td.per_op_writes.clear();
+  td.wrote = false;
+  td.in_op = false;
+  td.op_epoch = kNoEpoch;
+  td.last_op_adopted = true;
+  // active and op_start_ns were already released by the adopter.
   tls_esys = nullptr;
 }
 
@@ -194,6 +362,20 @@ void EpochSys::abort_op() noexcept {
     const uint64_t e = td.op_epoch;
     {
       std::lock_guard lk(td.m);
+      if (td.adopted.load(std::memory_order_acquire)) {
+        // An adopter already performed this rollback cross-thread (the
+        // check must happen under td.m, or a concurrent adoption could
+        // double-queue every block for reclamation).
+        td.op_new_blocks.clear();
+        td.adopted.store(false, std::memory_order_release);
+        td.per_op_writes.clear();
+        td.wrote = false;
+        td.in_op = false;
+        td.op_epoch = kNoEpoch;
+        td.last_op_adopted = true;
+        tls_esys = nullptr;
+        return;
+      }
       // Cancel the pdelete / ensure_writable requests this operation queued:
       // their victims stay live in the structure. The size guard tolerates a
       // list that was swapped out from under the mark (cannot happen while
@@ -255,7 +437,8 @@ uint64_t EpochSys::next_uid(ThreadData& td) {
     td.uid_limit = td.uid_next + kUidBatch;
     // Persist the high-water mark so uids never repeat across a crash.
     if (!opts_.transient) {
-      ral_->region()->persist_fence(uid_root_, sizeof(*uid_root_));
+      persist_retry(uid_root_, sizeof(*uid_root_));
+      fence_retry();
     }
   }
   return td.uid_next++;
@@ -274,8 +457,15 @@ void EpochSys::init_new_block(PBlk* p, std::size_t size) {
   if (td.in_op) {
     p->epoch_ = td.op_epoch;
     p->blktype_ = static_cast<uint32_t>(BlkType::kAlloc);
+    // Registration happens in one td.m critical section with the adoption
+    // check: a block that entered op_new_blocks is guaranteed visible to an
+    // adopter's rollback, and after an adoption nothing new may enter.
+    std::lock_guard lk(td.m);
+    if (td.adopted.load(std::memory_order_acquire)) {
+      throw OrphanedOperationException{};
+    }
     td.op_new_blocks.push_back(p);
-    register_write(p);
+    register_write_locked(td, p);
   } else {
     // Early allocation: labeled when BEGIN_OP runs (paper §3.1).
     p->epoch_ = kNoEpoch;
@@ -293,14 +483,20 @@ PBlk* EpochSys::ensure_writable(PBlk* p) {
   // Created in an earlier epoch: clone into the current one. The old version
   // must stay durable until the clone is (crash in this epoch or the next
   // rolls back to it), so it is reclaimed two epochs from now.
-  void* mem = ral_->allocate(p->size_);
+  void* mem = allocate_payload(p->size_);
   std::memcpy(mem, p, p->size_);
   auto* clone = static_cast<PBlk*>(static_cast<void*>(mem));
   clone->epoch_ = td.op_epoch;
   clone->blktype_ = static_cast<uint32_t>(BlkType::kUpdate);
-  td.op_new_blocks.push_back(clone);
   {
     std::lock_guard lk(td.m);
+    if (td.adopted.load(std::memory_order_acquire)) {
+      // Rolled back while we stalled: the clone was never registered, so it
+      // can be returned to the allocator raw.
+      ral_->deallocate(mem);
+      throw OrphanedOperationException{};
+    }
+    td.op_new_blocks.push_back(clone);
     td.to_free[td.op_epoch % 4].push_back(p);
   }
   return clone;
@@ -310,8 +506,20 @@ void EpochSys::register_write(PBlk* p) {
   if (opts_.transient) return;
   ThreadData& td = my_td();
   assert(td.in_op);
+  std::lock_guard lk(td.m);
+  if (td.adopted.load(std::memory_order_acquire)) {
+    throw OrphanedOperationException{};
+  }
+  register_write_locked(td, p);
+}
+
+void EpochSys::register_write_locked(ThreadData& td, PBlk* p) {
   switch (opts_.write_back) {
     case WriteBack::kImmediate:
+      // Under td.m deliberately: once an adopter has rolled the op back, a
+      // late owner write-back could reseal a dead-marked header. Montage's
+      // buffered mode never persists on this path, so the lock is off the
+      // paper's fast path.
       persist_block(p);
       td.wrote = true;
       break;
@@ -320,11 +528,9 @@ void EpochSys::register_write(PBlk* p) {
         td.per_op_writes.push_back(p);
       }
       break;
-    case WriteBack::kBuffered: {
-      std::lock_guard lk(td.m);
+    case WriteBack::kBuffered:
       ring_push(td, td.op_epoch, p);
       break;
-    }
   }
 }
 
@@ -352,23 +558,32 @@ void EpochSys::pdelete(PBlk* p) {
     // (The paper frees brand-new ALLOC payloads immediately; we route them
     // through the same DELETE-mark path so that a block whose header was
     // already written back by ring overflow can never be resurrected.)
-    p->blktype_ = static_cast<uint32_t>(BlkType::kDelete);
-    register_write(p);
     std::lock_guard lk(td.m);
+    if (td.adopted.load(std::memory_order_acquire)) {
+      // Rolled back while we stalled: p is epoch-e, so the adopter already
+      // dead-marked and queued it — touching it again would double-free.
+      throw OrphanedOperationException{};
+    }
+    p->blktype_ = static_cast<uint32_t>(BlkType::kDelete);
+    register_write_locked(td, p);
     td.to_free[e % 4].push_back(p);
   } else {
     // Anti-payload: same uid, current epoch. It outlives its victim by one
     // epoch so that recovery always sees it while the victim might survive.
-    auto* anti = static_cast<PBlk*>(ral_->allocate(sizeof(PBlk)));
+    auto* anti = static_cast<PBlk*>(allocate_payload(sizeof(PBlk)));
     new (anti) PBlk();
     anti->magic_ = kPBlkMagic;
     anti->uid_ = p->uid_;
     anti->size_ = sizeof(PBlk);
     anti->epoch_ = e;
     anti->blktype_ = static_cast<uint32_t>(BlkType::kDelete);
-    td.op_new_blocks.push_back(anti);
-    register_write(anti);
     std::lock_guard lk(td.m);
+    if (td.adopted.load(std::memory_order_acquire)) {
+      ral_->deallocate(anti);  // never registered; victim stays live
+      throw OrphanedOperationException{};
+    }
+    td.op_new_blocks.push_back(anti);
+    register_write_locked(td, anti);
     td.to_free[(e + 1) % 4].push_back(anti);
     td.to_free[e % 4].push_back(p);
   }
@@ -381,7 +596,38 @@ void EpochSys::persist_block(PBlk* p) {
   // checksum and quarantines any header that reached NVM some other way
   // (torn across a line boundary, or evicted before it was ever sealed).
   p->blk_seal();
-  ral_->region()->persist(p, p->size_);
+  persist_retry(p, p->size_);
+}
+
+void EpochSys::persist_retry(const void* addr, std::size_t len) {
+  uint64_t backoff = std::max<uint64_t>(opts_.wb_backoff_ns, 1);
+  for (uint64_t attempt = 1;; ++attempt) {
+    try {
+      ral_->region()->persist(addr, len);
+      return;
+    } catch (const nvm::IoError&) {
+      // Transient device error (full write queue, injected EIO): back off
+      // exponentially and reissue. Anything else — notably an armed
+      // CrashPointException — propagates untouched.
+      if (attempt > opts_.wb_max_retries) throw PersistError(attempt);
+      util::spin_for_ns(backoff);
+      backoff = std::min(backoff * 2, kMaxBackoffNs);
+    }
+  }
+}
+
+void EpochSys::fence_retry() {
+  uint64_t backoff = std::max<uint64_t>(opts_.wb_backoff_ns, 1);
+  for (uint64_t attempt = 1;; ++attempt) {
+    try {
+      ral_->region()->fence();
+      return;
+    } catch (const nvm::IoError&) {
+      if (attempt > opts_.wb_max_retries) throw PersistError(attempt);
+      util::spin_for_ns(backoff);
+      backoff = std::min(backoff * 2, kMaxBackoffNs);
+    }
+  }
 }
 
 void EpochSys::ring_push(ThreadData& td, uint64_t e, PBlk* p) {
@@ -419,7 +665,7 @@ void EpochSys::update_mindicator(ThreadData& td, int tid) {
 
 void EpochSys::reclaim_now(PBlk* p) {
   p->magic_ = kPBlkDead;
-  ral_->region()->persist(p, sizeof(PBlk));
+  persist_retry(p, sizeof(PBlk));
 }
 
 void EpochSys::reclaim_list(ThreadData& td, uint64_t e) {
@@ -432,54 +678,228 @@ void EpochSys::reclaim_list(ThreadData& td, uint64_t e) {
   // Persistently invalidate headers before reuse so a later crash can never
   // resurrect a reclaimed payload, then fence once for the whole batch.
   for (PBlk* p : victims) reclaim_now(p);
-  ral_->region()->fence();
+  fence_retry();
   for (PBlk* p : victims) ral_->deallocate(p);
 }
 
-void EpochSys::wait_all(uint64_t e) {
+bool EpochSys::wait_all(uint64_t e, uint64_t abs_deadline_ns) {
   const int hwm = tid_hwm_.load(std::memory_order_acquire);
   for (int t = 0; t < hwm; ++t) {
-    while (tds_[t].active.load(std::memory_order_acquire) <= e) {
+    ThreadData& td = tds_[t];
+    while (td.active.load(std::memory_order_acquire) <= e) {
+      if (abs_deadline_ns != kNoDeadline && util::now_ns() > abs_deadline_ns) {
+        return false;
+      }
+      if (opts_.op_deadline_ns != 0) {
+        const uint64_t started = td.op_start_ns.load(std::memory_order_acquire);
+        const uint64_t now = util::now_ns();
+        if (started != 0 && now > started &&
+            now - started > opts_.op_deadline_ns) {
+          // The owner has been inside this operation past the deadline:
+          // presume it failed and take the operation from it. A false
+          // positive (merely slow, not dead) is safe — the owner observes
+          // td.adopted and restarts — but not free: its linearized-yet-
+          // unacknowledged effects are rolled back (DESIGN.md §8).
+          adopt_thread(t, e);
+          continue;  // re-check active; adoption released the slot
+        }
+      }
       std::this_thread::yield();
     }
   }
+  return true;
+}
+
+void EpochSys::adopt_thread(int tid, uint64_t upto) {
+  ThreadData& td = tds_[tid];
+  if (&td == &my_td()) return;  // never self-adopt (we cannot be stalled)
+  // try_lock: if the owner is wedged while holding td.m we must not inherit
+  // the wedge — back out and retry from wait_all's loop.
+  std::unique_lock lk(td.m, std::try_to_lock);
+  if (!lk.owns_lock()) return;
+  const uint64_t e = td.active.load(std::memory_order_acquire);
+  if (e == kNoEpoch || e > upto) return;  // finished or moved on meanwhile
+  if (td.adopted.load(std::memory_order_acquire)) return;
+  // Re-check the heartbeat under the lock: a fresh operation by a
+  // resurrected owner must never be adopted at birth.
+  const uint64_t started = td.op_start_ns.load(std::memory_order_acquire);
+  const uint64_t now = util::now_ns();
+  if (started == 0 || now <= started ||
+      now - started <= opts_.op_deadline_ns) {
+    return;
+  }
+  td.adopted.store(true, std::memory_order_release);
+  // Replay abort_op's rollback on the orphan's behalf: cancel its queued
+  // pdeletes, dead-mark everything the operation allocated and route it
+  // through ring + deferred reclamation (see abort_op for why this is
+  // crash-safe without issuing any persistence event here).
+  auto cancel = [](std::vector<PBlk*>& v, std::size_t mark) {
+    if (v.size() > mark) v.resize(mark);
+  };
+  cancel(td.to_free[e % 4], td.free_mark[0]);
+  cancel(td.to_free[(e + 1) % 4], td.free_mark[1]);
+  auto& ring = td.to_persist[e % 4];
+  for (PBlk* p : td.op_new_blocks) {
+    p->magic_ = kPBlkDead;
+    if (std::find(ring.begin(), ring.end(), p) == ring.end()) {
+      if (ring.empty()) td.ring_epoch[e % 4] = e;
+      ring.push_back(p);
+    }
+    td.to_free[e % 4].push_back(p);
+  }
+  td.op_new_blocks.clear();
+  update_mindicator(td, tid);
+  // Park the orphan's mindicator leaf: its remaining buffers are now the
+  // advancing thread's responsibility (drained at the next boundary), so a
+  // possibly-dead thread must not pin the persistence frontier. begin_op
+  // re-admits the leaf if the thread comes back.
+  mind_.park(tid);
+  td.op_start_ns.store(0, std::memory_order_release);
+  td.active.store(kNoEpoch, std::memory_order_release);
+  adopted_ops_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void EpochSys::advance_epoch() {
-  if (opts_.transient) return;
-  std::lock_guard lk(advance_mutex_);
+  (void)try_advance_epoch(kNoDeadline);
+}
+
+bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
+  if (opts_.transient) return true;
+  std::unique_lock lk(advance_mutex_, std::defer_lock);
+  if (abs_deadline_ns == kNoDeadline) {
+    lk.lock();
+  } else {
+    while (!lk.try_lock()) {
+      // Someone else is advancing; their tick serves our callers too, but
+      // the clock value they publish may predate our target — keep trying
+      // until the deadline.
+      if (util::now_ns() > abs_deadline_ns) return false;
+      std::this_thread::yield();
+    }
+  }
   const uint64_t e = clock_->load(std::memory_order_acquire);
   // 1. No operation may still be active in the epoch being persisted.
-  wait_all(e - 1);
+  if (!wait_all(e - 1, abs_deadline_ns)) return false;
   const int hwm = tid_hwm_.load(std::memory_order_acquire);
   // 2. Write back everything created/modified in e-1 and order it. (If all
   // buffers already drained — incremental write-back, sync helping — the
   // data fence can be skipped; the clock fence below still orders us.)
   std::size_t drained = 0;
   for (int t = 0; t < hwm; ++t) drained += drain_ring(tds_[t], e - 1);
-  if (drained > 0) ral_->region()->fence();
+  if (drained > 0) fence_retry();
   // 3. Reclaim payloads whose grace period expired (unless workers do it).
   if (!opts_.local_free) {
     for (int t = 0; t < hwm; ++t) reclaim_list(tds_[t], e - 2);
   }
   // 4. Tick and persist the clock; epochs <= e-1 are now durable.
   clock_->store(e + 1, std::memory_order_release);
-  ral_->region()->persist_fence(clock_, sizeof(*clock_));
+  persist_retry(clock_, sizeof(*clock_));
+  fence_retry();
+  last_tick_ns_.store(util::now_ns(), std::memory_order_relaxed);
+  return true;
 }
 
-void EpochSys::sync() {
-  if (opts_.transient) return;
+void EpochSys::help_persist_up_to(uint64_t e) {
+  // Drain every thread's rings for epochs <= e (only the three most recent
+  // slots can be populated) so a failed or slow advancer never leaves data
+  // hostage in DRAM buffers.
+  const int hwm = tid_hwm_.load(std::memory_order_acquire);
+  std::size_t drained = 0;
+  const uint64_t lo = e > kFirstEpoch + 2 ? e - 2 : kFirstEpoch;
+  for (uint64_t x = lo; x <= e; ++x) {
+    for (int t = 0; t < hwm; ++t) drained += drain_ring(tds_[t], x);
+  }
+  if (drained > 0) fence_retry();
+}
+
+void EpochSys::sync() { (void)sync_for(kNoDeadline); }
+
+bool EpochSys::sync_for(uint64_t deadline_ns) {
+  if (opts_.transient) return true;
   assert(!my_td().in_op && "sync() may not be called inside an operation");
+  const uint64_t abs_deadline = deadline_ns == kNoDeadline
+                                    ? kNoDeadline
+                                    : util::now_ns() + deadline_ns;
   syncs_pending_.fetch_add(1, std::memory_order_relaxed);
+  struct PendingGuard {  // exception-safe: PersistError must not leak a count
+    std::atomic<int>* c;
+    ~PendingGuard() { c->fetch_sub(1, std::memory_order_relaxed); }
+  } guard{&syncs_pending_};
   const uint64_t target = clock_->load(std::memory_order_acquire);
   // Everything up to `target` is durable once the clock reaches target+2.
   // The caller drives the advances itself — including writing back its
-  // peers' buffers inside advance_epoch — so sync latency is bounded by the
-  // longest in-flight operation, not by the epoch length.
+  // peers' buffers — so sync latency is bounded by the longest in-flight
+  // operation, not by the epoch length. With a deadline, a wedged peer that
+  // adoption cannot (or may not) clear makes this return false instead of
+  // hanging.
   while (clock_->load(std::memory_order_acquire) < target + 2) {
-    advance_epoch();
+    help_persist_up_to(clock_->load(std::memory_order_acquire) - 1);
+    if (!try_advance_epoch(abs_deadline)) return false;
   }
-  syncs_pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+// ---- execution-fault backpressure -------------------------------------------
+
+void* EpochSys::allocate_payload(std::size_t sz) {
+  try {
+    return ral_->allocate(sz);
+  } catch (const std::bad_alloc&) {
+    if (opts_.transient) throw;
+  }
+  // The arena is exhausted, but up to three epochs of dead payloads may be
+  // waiting out their grace period. Drive the clock forward to mature them,
+  // reclaim, and retry; only if that frees nothing does bad_alloc surface.
+  ThreadData& td = my_td();
+  const uint64_t budget_end = util::now_ns() + kEmergencyAdvanceBudgetNs;
+  for (int pass = 0; pass < 4; ++pass) {
+    if (td.in_op && td.active.load(std::memory_order_acquire) <
+                        clock_->load(std::memory_order_acquire)) {
+      // One more advance would wait on our own announced epoch: an in-op
+      // thread gets exactly one emergency tick, pre-op allocation gets the
+      // full sweep.
+      break;
+    }
+    try {
+      if (!try_advance_epoch(budget_end)) break;
+    } catch (...) {
+      break;  // persist trouble during the emergency path: report the OOM
+    }
+    if (opts_.local_free) {
+      // Workers own their reclamation lists; take the just-matured one now
+      // instead of waiting for this thread's next begin_op.
+      const uint64_t c = clock_->load(std::memory_order_acquire);
+      reclaim_list(td, c - 2);
+    }
+    try {
+      return ral_->allocate(sz);
+    } catch (const std::bad_alloc&) {
+    }
+  }
+  throw std::bad_alloc{};
+}
+
+void EpochSys::watchdog_poke(ThreadData& td) {
+  const uint64_t last = last_tick_ns_.load(std::memory_order_relaxed);
+  const uint64_t now = util::now_ns();
+  if (now <= last || now - last < watchdog_ns_) return;
+  // Per-thread jitter on top of the threshold so a stampede of workers does
+  // not pile onto the advance mutex the instant the clock goes stale.
+  if (td.wd_rng == 0) {
+    td.wd_rng = (now << 1) ^
+                (static_cast<uint64_t>(util::thread_id() + 1) << 32) | 1;
+  }
+  const uint64_t jitter = xorshift64(td.wd_rng) % (watchdog_ns_ / 2 + 1);
+  if (now - last < watchdog_ns_ + jitter) return;
+  if (!advancer_alive()) start_advancer();
+  // Also drive the clock cooperatively: the restarted advancer first sleeps
+  // a full epoch, and it may die again immediately (persistent fault).
+  try {
+    (void)try_advance_epoch(now + watchdog_ns_);
+  } catch (...) {
+    // PersistError here is the advance's problem, not this operation's; the
+    // caller's own write-backs will surface their own errors.
+  }
 }
 
 // ---- recovery -----------------------------------------------------------------

@@ -19,6 +19,15 @@
 //   3. reclaims to_free[e-2]: invalidates block headers persistently and
 //      returns the blocks to Ralloc;
 //   4. increments the (persistent) epoch clock and writes it back.
+//
+// A liveness layer (DESIGN.md §8) keeps this pipeline making progress under
+// execution faults: operations stalled past Options::op_deadline_ns are
+// adopted (rolled back and their buffers persisted) by whoever is advancing
+// the clock, workers watchdog the background advancer and restart or replace
+// it when the clock goes stale, transient device errors (nvm::IoError) are
+// retried with exponential backoff before surfacing as PersistError, and
+// allocation failure triggers an emergency advance-and-reclaim pass before
+// giving up with std::bad_alloc.
 #pragma once
 
 #include <atomic>
@@ -55,6 +64,29 @@ struct EpochVerifyException : public std::exception {
   }
 };
 
+/// Raised on a resurrected thread: while it was stalled past
+/// Options::op_deadline_ns, the epoch advancer adopted (aborted and rolled
+/// back) its in-flight operation. Derives from EpochVerifyException because
+/// the correct reaction is the same — the operation did not happen; restart
+/// it in the current epoch.
+struct OrphanedOperationException : public EpochVerifyException {
+  const char* what() const noexcept override {
+    return "montage: operation was adopted by the advancer while stalled";
+  }
+};
+
+/// A write-back kept failing (injected EIO, device error) past the retry
+/// budget (Options::wb_max_retries). The epoch system remains usable; the
+/// failing payloads stay queued and are retried at the next epoch boundary.
+struct PersistError : public std::runtime_error {
+  explicit PersistError(uint64_t attempts_)
+      : std::runtime_error(
+            "montage: write-back failed after retries (transient I/O error "
+            "did not clear)"),
+        attempts(attempts_) {}
+  uint64_t attempts;  ///< persist attempts made before giving up
+};
+
 /// What recovery found and what it had to discard, quarantine, or salvage,
 /// returned alongside the survivor list by EpochSys::recover(). A recovery
 /// that quarantines blocks still succeeds — corruption degrades capacity,
@@ -86,7 +118,26 @@ class EpochSys {
     bool local_free = false;   ///< workers reclaim their own to_free lists
     bool direct_free = false;  ///< UNSAFE, bench-only: reclaim immediately
     bool transient = false;    ///< Montage(T): payloads in NVM, no persistence
+
+    // ---- liveness layer (DESIGN.md §8) ----
+    /// Adopt (abort + help-persist) an operation stalled longer than this;
+    /// 0 = never adopt. Env MONTAGE_STALL_DEADLINE_MS overrides.
+    uint64_t op_deadline_ns = 0;
+    /// Workers treat the clock as stale — restarting the advancer and
+    /// cooperatively advancing — after this long without a tick; 0 = derive
+    /// 10x epoch_length_ns. Env MONTAGE_STALL_WATCHDOG_MS overrides. Only
+    /// active when start_advancer is set (manual-clock configurations drive
+    /// the epoch themselves).
+    uint64_t watchdog_ns = 0;
+    /// Transient write-back failures (nvm::IoError) are retried this many
+    /// times, with exponential backoff starting at wb_backoff_ns, before a
+    /// PersistError is raised.
+    uint64_t wb_max_retries = 8;
+    uint64_t wb_backoff_ns = 1'000;
   };
+
+  /// Sentinel for the deadline-taking entry points: wait forever.
+  static constexpr uint64_t kNoDeadline = ~0ull;
 
   /// Builds on `ral` (which manages the NVM region). `recover` selects
   /// whether the persistent epoch clock is formatted or resumed.
@@ -127,9 +178,16 @@ class EpochSys {
     static_assert(std::is_base_of_v<PBlk, T>);
     static_assert(std::is_trivially_copyable_v<T>,
                   "Montage payloads must be trivially copyable");
-    void* mem = ral_->allocate(sizeof(T));
+    void* mem = allocate_payload(sizeof(T));
     T* obj = new (mem) T(std::forward<Args>(args)...);
-    init_new_block(obj, sizeof(T));
+    try {
+      init_new_block(obj, sizeof(T));
+    } catch (...) {
+      // Never registered anywhere: return the raw block (header was never
+      // sealed or persisted, so recovery cannot see it either).
+      ral_->deallocate(mem);
+      throw;
+    }
     return obj;
   }
 
@@ -161,6 +219,12 @@ class EpochSys {
   /// (paper §5.2). Must not be called inside an operation.
   void sync();
 
+  /// Bounded sync: as sync(), but gives up after `deadline_ns` (relative)
+  /// and returns false if durability was not reached — e.g. a peer is
+  /// wedged mid-operation and adoption is disabled or has not fired yet.
+  /// kNoDeadline waits forever (equivalent to sync()).
+  bool sync_for(uint64_t deadline_ns);
+
   /// Advance the epoch once (normally invoked by the background thread).
   void advance_epoch();
 
@@ -174,7 +238,41 @@ class EpochSys {
   /// Epochs <= this value are durable.
   uint64_t persisted_frontier() const { return current_epoch() - 2; }
 
+  // ---- advancer lifecycle ----------------------------------------------------
+
+  /// Stop the background advancer and join its thread. Idempotent and
+  /// thread-safe: double stops, stop-before-start, and stops racing a
+  /// watchdog restart are all harmless.
   void stop_advancer();
+
+  /// (Re)start the background advancer. Reaps a dead advancer body first;
+  /// a no-op when one is already running or the EpochSys is shutting down.
+  /// The watchdog calls this automatically when the clock goes stale.
+  void start_advancer();
+
+  /// True while the advancer loop is live (its thread has not exited).
+  bool advancer_alive() const {
+    return advancer_running_.load(std::memory_order_acquire);
+  }
+
+  /// TEST ONLY: make the advancer thread exit abruptly at its next wake-up,
+  /// as if it had been killed — no cleanup, stop flag untouched. Used to
+  /// exercise the watchdog restart path deterministically.
+  void inject_advancer_kill() {
+    advancer_kill_.store(true, std::memory_order_release);
+  }
+
+  /// Operations adopted from stalled threads since construction.
+  uint64_t adopted_op_count() const {
+    return adopted_ops_.load(std::memory_order_relaxed);
+  }
+  /// True iff the calling thread's most recent operation was adopted (its
+  /// effects were rolled back) rather than committed.
+  bool last_op_adopted() const { return my_td().last_op_adopted; }
+  /// Monotonic timestamp of the last completed epoch advance.
+  uint64_t last_tick_ns() const {
+    return last_tick_ns_.load(std::memory_order_relaxed);
+  }
 
   // ---- recovery --------------------------------------------------------------
 
@@ -223,8 +321,16 @@ class EpochSys {
     uint64_t last_epoch = 0;
     bool in_op = false;
     bool wrote = false;  ///< kImmediate: a fence is owed at END_OP
+    bool last_op_adopted = false;  ///< previous op was adopted, not committed
+    uint64_t wd_rng = 0;           ///< watchdog jitter state (lazy-seeded)
     std::atomic<uint64_t> active{kNoEpoch};  ///< operation tracker slot
-    uint64_t uid_next = 0;                   ///< per-thread uid block cursor
+    /// Heartbeat: now_ns() at begin_op, 0 outside an op. wait_all compares
+    /// it against op_deadline_ns to detect stalled/dead owners.
+    std::atomic<uint64_t> op_start_ns{0};
+    /// Set by an adopter that rolled this thread's op back; every owner-side
+    /// entry point checks it and raises OrphanedOperationException.
+    std::atomic<bool> adopted{false};
+    uint64_t uid_next = 0;  ///< per-thread uid block cursor
     uint64_t uid_limit = 0;
   };
 
@@ -233,6 +339,10 @@ class EpochSys {
 
   void init_new_block(PBlk* p, std::size_t size);
   uint64_t next_uid(ThreadData& td);
+
+  /// register_write's body, for callers already holding td.m (which is also
+  /// where the adopted-check lives — see init_new_block/pdelete).
+  void register_write_locked(ThreadData& td, PBlk* p);
 
   /// Push onto the to_persist ring for epoch `e`; on overflow write back the
   /// oldest entry. Caller holds td.m.
@@ -250,13 +360,41 @@ class EpochSys {
   void reclaim_list(ThreadData& td, uint64_t e);
   void reclaim_now(PBlk* p);
 
-  /// Wait until no operation is active in epoch <= e.
-  void wait_all(uint64_t e);
+  /// Wait until no operation is active in epoch <= e, adopting operations
+  /// stalled past op_deadline_ns. Returns false if `abs_deadline_ns`
+  /// (absolute now_ns() value; kNoDeadline = none) passed first.
+  bool wait_all(uint64_t e, uint64_t abs_deadline_ns);
+
+  /// advance_epoch with a deadline: gives up (returning false) if the
+  /// advance mutex or a wedged peer cannot be gotten past in time.
+  bool try_advance_epoch(uint64_t abs_deadline_ns);
+
+  /// Cross-thread abort of thread `tid`'s stalled operation (epoch <= upto):
+  /// roll it back exactly as abort_op() would and release its tracker slot.
+  void adopt_thread(int tid, uint64_t upto);
+
+  /// Owner-side cleanup after the calling thread discovers its op was
+  /// adopted: discard local op state (the adopter already rolled back the
+  /// shared state) and record last_op_adopted.
+  void finish_adopted_op(ThreadData& td);
+
+  /// Write back / fence with retry on transient nvm::IoError; PersistError
+  /// after Options::wb_max_retries.
+  void persist_retry(const void* addr, std::size_t len);
+  void fence_retry();
+
+  /// Allocate payload memory, applying emergency advance-and-reclaim
+  /// backpressure before letting std::bad_alloc escape.
+  void* allocate_payload(std::size_t sz);
+
+  /// Restart-or-drive the clock when it has gone stale (advancer death).
+  void watchdog_poke(ThreadData& td);
 
   void help_persist_up_to(uint64_t e);
   void update_mindicator(ThreadData& td, int tid);
 
   void advancer_loop();
+  void start_advancer_locked();
 
   ralloc::Ralloc* ral_;
   Options opts_;
@@ -272,7 +410,13 @@ class EpochSys {
   std::atomic<int> tid_hwm_{0};
   std::thread advancer_;
   std::atomic<bool> stop_{false};
-  bool advancer_running_ = false;
+  std::mutex advancer_mutex_;  ///< guards advancer_ start/stop/restart
+  std::atomic<bool> advancer_running_{false};
+  std::atomic<bool> advancer_kill_{false};  ///< test hook: simulate a kill
+  std::atomic<bool> shutdown_{false};       ///< destructor: no restarts
+  std::atomic<uint64_t> last_tick_ns_{0};
+  std::atomic<uint64_t> adopted_ops_{0};
+  uint64_t watchdog_ns_ = 0;  ///< resolved staleness threshold
   RecoveryReport last_recovery_report_;
 };
 

@@ -18,6 +18,7 @@
 // vtables, no owning members. Use util::InlineStr for string data.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <type_traits>
@@ -43,13 +44,18 @@ class PBlk {
   uint64_t blk_epoch() const { return epoch_; }
   uint64_t blk_uid() const { return uid_; }
   BlkType blk_type() const { return static_cast<BlkType>(blktype_); }
-  uint32_t blk_tag() const { return user_tag_; }
+  uint32_t blk_tag() const { return tag_ref().load(std::memory_order_relaxed); }
   uint64_t blk_size() const { return size_; }
   bool blk_live() const { return magic_ == kPBlkMagic; }
 
   /// Structure-defined payload kind, for containers persisting more than one
-  /// payload type (e.g. graph vertices vs edges). Set after PNEW.
-  void set_blk_tag(uint32_t tag) { user_tag_ = tag; }
+  /// payload type (e.g. graph vertices vs edges). Set after PNEW — which is
+  /// outside the per-thread lock, so the tag word is the one header field an
+  /// adopter (DESIGN.md §8) can seal concurrently with the owner's store;
+  /// both sides go through atomic_ref to keep that well-defined.
+  void set_blk_tag(uint32_t tag) {
+    tag_ref().store(tag, std::memory_order_relaxed);
+  }
 
   /// Mixes every header word into a 64-bit check word (never 0, so the
   /// zero-initialized "never sealed" state can never verify). EpochSys seals
@@ -61,7 +67,7 @@ class PBlk {
     uint64_t h = 0x4d4f4e5441474531ull;  // "MONTAGE1"
     const uint64_t words[] = {magic_, epoch_, uid_,
                               (static_cast<uint64_t>(blktype_) << 32) |
-                                  user_tag_,
+                                  blk_tag(),
                               size_};
     for (uint64_t w : words) {
       h ^= w;
@@ -82,6 +88,10 @@ class PBlk {
   uint64_t magic_ = 0;
   uint64_t epoch_ = kNoEpoch;
   uint64_t uid_ = 0;
+  std::atomic_ref<uint32_t> tag_ref() const {
+    return std::atomic_ref<uint32_t>(const_cast<uint32_t&>(user_tag_));
+  }
+
   uint32_t blktype_ = 0;
   uint32_t user_tag_ = 0;
   uint64_t size_ = 0;

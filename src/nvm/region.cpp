@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/env.hpp"
 #include "util/rand.hpp"
 #include "util/timing.hpp"
 
@@ -72,10 +73,11 @@ Region::Region(const RegionOptions& opts) : opts_(opts) {
   if (opts_.mode == PersistMode::kTracked) {
     shadow_ = std::make_unique<char[]>(opts_.size);
     std::memcpy(shadow_.get(), base_, opts_.size);  // initial image is durable
-    if (const char* at = std::getenv("MONTAGE_CRASH_AT");
-        at != nullptr && *at != '\0') {
-      crash_at_.store(std::strtoull(at, nullptr, 10),
-                      std::memory_order_relaxed);
+    crash_at_.store(util::env_u64_checked("MONTAGE_CRASH_AT", 0),
+                    std::memory_order_relaxed);
+    if (const uint64_t at = util::env_u64_checked("MONTAGE_EIO_AT", 0);
+        at != 0) {
+      fail_events(at, util::env_u64_checked("MONTAGE_EIO_COUNT", 1));
     }
   }
 }
@@ -115,6 +117,11 @@ void Region::bump_event() {
   // Fires on equality only, so each arming interrupts exactly one event;
   // later events (unwinding cleanup, recovery) run normally until re-armed.
   if (target != 0 && n == target) throw CrashPointException{};
+  const uint64_t from = eio_from_.load(std::memory_order_relaxed);
+  if (from != 0 && n >= from &&
+      n - from < eio_count_.load(std::memory_order_relaxed)) {
+    throw IoError{};
+  }
 }
 
 void Region::persist(const void* addr, std::size_t len) {

@@ -56,6 +56,18 @@ struct CrashPointException : public std::exception {
   }
 };
 
+/// Thrown by persist()/fence()/evict_random_lines() in kTracked mode while a
+/// transient-failure window is armed (see Region::fail_events): the device
+/// reported EIO / a full write queue and the event did NOT take effect.
+/// Unlike CrashPointException, the condition is transient — the caller may
+/// retry, and each retry issues a new persistence event that marches through
+/// the armed window until it succeeds.
+struct IoError : public std::exception {
+  const char* what() const noexcept override {
+    return "nvm: injected transient I/O error (EIO)";
+  }
+};
+
 struct RegionOptions {
   std::size_t size = 64ull << 20;  ///< arena size in bytes (default 64 MiB)
   std::string path;                ///< backing file; empty = anonymous memory
@@ -151,6 +163,18 @@ class Region {
   }
   void clear_crash_schedule() { crash_at_event(0); }
 
+  /// Arm a transient-failure window: persistence events with 1-based index
+  /// in [from, from + count) throw IoError instead of taking effect. A
+  /// retrying caller issues fresh events and exits the window after `count`
+  /// failures; an armed crash schedule takes precedence over the window.
+  /// `from` = 0 disarms. MONTAGE_EIO_AT / MONTAGE_EIO_COUNT (default 1) arm
+  /// this at construction, like MONTAGE_CRASH_AT.
+  void fail_events(uint64_t from, uint64_t count) {
+    eio_count_.store(count, std::memory_order_relaxed);
+    eio_from_.store(from, std::memory_order_relaxed);
+  }
+  void clear_eio_schedule() { fail_events(0, 0); }
+
   RegionStatsSnapshot stats() const;
   void reset_stats();
 
@@ -179,6 +203,8 @@ class Region {
   std::atomic<uint64_t> fences_{0};
   std::atomic<uint64_t> events_{0};    // kTracked persistence-event clock
   std::atomic<uint64_t> crash_at_{0};  // 0 = disarmed
+  std::atomic<uint64_t> eio_from_{0};  // EIO window start; 0 = disarmed
+  std::atomic<uint64_t> eio_count_{0};
 };
 
 /// Convenience wrappers against the global region.

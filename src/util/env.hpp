@@ -2,8 +2,10 @@
 // serves both a CI-scale smoke run and a paper-scale sweep.
 #pragma once
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace montage::util {
@@ -12,6 +14,32 @@ inline uint64_t env_u64(const char* name, uint64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   return std::strtoull(v, nullptr, 10);
+}
+
+/// Strict variant for fault-injection and liveness knobs (MONTAGE_CRASH_AT,
+/// MONTAGE_EIO_*, MONTAGE_STALL_*): the whole value must be a non-negative
+/// decimal integer that fits in uint64_t. Malformed or overflowing input
+/// throws std::invalid_argument naming the variable — silently reading
+/// garbage as 0 would disarm an injection the caller believes is armed.
+inline uint64_t env_u64_checked(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  // strtoull tolerates leading whitespace, '+', and (by wrapping) '-';
+  // reject anything that is not a plain digit string up front.
+  for (const char* c = v; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') {
+      throw std::invalid_argument(std::string(name) + "='" + v +
+                                  "': expected a non-negative integer");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument(std::string(name) + "='" + v +
+                                "': value does not fit in 64 bits");
+  }
+  return parsed;
 }
 
 inline double env_double(const char* name, double fallback) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -201,6 +202,79 @@ TEST(Region, FileBackedRegionPersistsAcrossReopen) {
     EXPECT_STREQ(r.arena_begin(), "hello");
   }
   ::unlink(path.c_str());
+}
+
+TEST(Region, EioWindowFailsExactlyCountEvents) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  p[0] = 'x';
+  // Arm the next two persistence events; a retrying caller issues fresh
+  // events and marches through the window.
+  r.fail_events(r.persistence_events() + 1, 2);
+  EXPECT_THROW(r.persist(p, 1), montage::nvm::IoError);
+  EXPECT_THROW(r.persist(p, 1), montage::nvm::IoError);
+  EXPECT_NO_THROW(r.persist(p, 1));  // third attempt clears the window
+  EXPECT_NO_THROW(r.fence());
+  r.simulate_crash();
+  EXPECT_EQ(p[0], 'x') << "post-window persist+fence must be durable";
+}
+
+TEST(Region, EioWindowDisarmsAndFailedEventsDoNotCommit) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  p[0] = 'x';
+  r.persist(p, 1);
+  r.fail_events(r.persistence_events() + 1, 1'000'000);  // fence will fail
+  EXPECT_THROW(r.fence(), montage::nvm::IoError);
+  r.clear_eio_schedule();
+  // The failed fence took no effect: the line is still pending, and the
+  // next (successful) fence commits it.
+  r.fence();
+  r.simulate_crash();
+  EXPECT_EQ(p[0], 'x');
+}
+
+TEST(Region, CrashScheduleTakesPrecedenceOverEioWindow) {
+  Region r(tracked());
+  char* p = r.arena_begin();
+  p[0] = 'x';
+  const uint64_t next = r.persistence_events() + 1;
+  r.fail_events(next, 10);
+  r.crash_at_event(next);
+  EXPECT_THROW(r.persist(p, 1), montage::nvm::CrashPointException);
+  r.clear_eio_schedule();
+  r.clear_crash_schedule();
+}
+
+TEST(Region, EnvArmsEioWindow) {
+  ::setenv("MONTAGE_EIO_AT", "1", 1);
+  ::setenv("MONTAGE_EIO_COUNT", "2", 1);
+  {
+    Region r(tracked());
+    char* p = r.arena_begin();
+    p[0] = 'x';
+    EXPECT_THROW(r.persist(p, 1), montage::nvm::IoError);
+    EXPECT_THROW(r.persist(p, 1), montage::nvm::IoError);
+    EXPECT_NO_THROW(r.persist(p, 1));
+  }
+  ::unsetenv("MONTAGE_EIO_AT");
+  ::unsetenv("MONTAGE_EIO_COUNT");
+}
+
+TEST(Region, RejectsMalformedFaultInjectionEnv) {
+  // Garbage in a fault-injection knob must fail construction loudly, not
+  // silently disarm the injection.
+  ::setenv("MONTAGE_CRASH_AT", "12abc", 1);
+  EXPECT_THROW(Region r(tracked()), std::invalid_argument);
+  ::unsetenv("MONTAGE_CRASH_AT");
+  ::setenv("MONTAGE_EIO_AT", "-3", 1);
+  EXPECT_THROW(Region r(tracked()), std::invalid_argument);
+  ::unsetenv("MONTAGE_EIO_AT");
+  ::setenv("MONTAGE_EIO_AT", "1", 1);
+  ::setenv("MONTAGE_EIO_COUNT", "99999999999999999999999", 1);  // > 2^64
+  EXPECT_THROW(Region r(tracked()), std::invalid_argument);
+  ::unsetenv("MONTAGE_EIO_AT");
+  ::unsetenv("MONTAGE_EIO_COUNT");
 }
 
 TEST(Region, GlobalSingletonLifecycle) {

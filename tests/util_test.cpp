@@ -158,6 +158,33 @@ TEST(Env, FallbacksAndParsing) {
   ::unsetenv("MONTAGE_TEST_ENV_X");
 }
 
+TEST(Env, CheckedAcceptsPlainDecimal) {
+  ::unsetenv("MONTAGE_TEST_ENV_X");
+  EXPECT_EQ(env_u64_checked("MONTAGE_TEST_ENV_X", 42), 42u);
+  ::setenv("MONTAGE_TEST_ENV_X", "", 1);
+  EXPECT_EQ(env_u64_checked("MONTAGE_TEST_ENV_X", 7), 7u);  // empty = unset
+  ::setenv("MONTAGE_TEST_ENV_X", "0", 1);
+  EXPECT_EQ(env_u64_checked("MONTAGE_TEST_ENV_X", 7), 0u);
+  ::setenv("MONTAGE_TEST_ENV_X", "123456789", 1);
+  EXPECT_EQ(env_u64_checked("MONTAGE_TEST_ENV_X", 7), 123456789u);
+  ::setenv("MONTAGE_TEST_ENV_X", "18446744073709551615", 1);  // UINT64_MAX
+  EXPECT_EQ(env_u64_checked("MONTAGE_TEST_ENV_X", 7), UINT64_MAX);
+  ::unsetenv("MONTAGE_TEST_ENV_X");
+}
+
+TEST(Env, CheckedRejectsGarbageInsteadOfReadingZero) {
+  // A fault-injection knob silently parsed as 0 would disarm the injection;
+  // the strict parser must throw instead.
+  for (const char* bad : {"12abc", "abc", "-5", "+5", " 12", "12 ", "0x10",
+                          "1.5", "99999999999999999999999"}) {
+    ::setenv("MONTAGE_TEST_ENV_X", bad, 1);
+    EXPECT_THROW(env_u64_checked("MONTAGE_TEST_ENV_X", 0),
+                 std::invalid_argument)
+        << "accepted garbage value '" << bad << "'";
+  }
+  ::unsetenv("MONTAGE_TEST_ENV_X");
+}
+
 // ---- barrier -------------------------------------------------------------------
 
 TEST(SpinBarrier, SynchronizesPhases) {
