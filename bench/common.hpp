@@ -10,6 +10,9 @@
 //                            (default 0.02; 1.0 = paper scale)
 //   MONTAGE_FLUSH_NS       — emulated per-line drain latency (default 150)
 //   MONTAGE_FENCE_NS       — emulated fixed fence cost (default 300)
+//
+// Flags: --stats-json appends the telemetry registry (counters, histograms,
+// gauges, trace status) as one JSON line after the CSV rows.
 #pragma once
 
 #include <cstdio>
@@ -28,9 +31,33 @@
 #include "util/inline_str.hpp"
 #include "util/pin.hpp"
 #include "util/rand.hpp"
+#include "util/telemetry.hpp"
 #include "util/timing.hpp"
 
 namespace montage::bench {
+
+/// Whether --stats-json was passed; read by emit_stats_json().
+inline bool& stats_json_requested() {
+  static bool v = false;
+  return v;
+}
+
+/// Minimal flag parsing shared by every figure binary. Unknown arguments are
+/// ignored so wrapper scripts can pass through extra context harmlessly.
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stats-json") stats_json_requested() = true;
+  }
+}
+
+/// Print the telemetry registry as one JSON line (after the CSV rows) when
+/// --stats-json was requested. In MONTAGE_TELEMETRY=OFF builds the line is
+/// {"telemetry":0} so consumers can tell "no data" from "zero counts".
+inline void emit_stats_json() {
+  if (!stats_json_requested()) return;
+  std::printf("%s\n", telemetry::stats_json().c_str());
+  std::fflush(stdout);
+}
 
 using Key = util::InlineStr<32>;
 

@@ -132,8 +132,10 @@ void main_impl() {
 }  // namespace
 }  // namespace montage::bench
 
-int main() {
+int main(int argc, char** argv) {
+  montage::bench::parse_args(argc, argv);
   std::printf("figure,series,x,value\n");
   montage::bench::main_impl();
+  montage::bench::emit_stats_json();
   return 0;
 }

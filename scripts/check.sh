@@ -14,6 +14,16 @@ cd "$(dirname "$0")/.."
 SAN=${MONTAGE_SANITIZE:-address,undefined}
 BUILD_DIR=${BUILD_DIR:-build-${SAN//,/-}}
 
+scripts/check_docs.sh
+
 cmake -B "$BUILD_DIR" -S . -DMONTAGE_SANITIZE="$SAN"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+# Kill-switch leg: telemetry compiled out must still build everything and
+# pass its own tests (the instrumented call sites become empty inlines).
+OFF_DIR=build-telemetry-off
+cmake -B "$OFF_DIR" -S . -DMONTAGE_TELEMETRY=OFF
+cmake --build "$OFF_DIR" -j "$(nproc)"
+ctest --test-dir "$OFF_DIR" --output-on-failure -j "$(nproc)" \
+  -R "Telemetry|ShardedCounter|Region|EpochBasic" "$@"

@@ -100,6 +100,7 @@ class AtomicVerifiable {
   /// restarts in the new epoch, paper §3.3).
   bool cas_verify(EpochSys* esys, T expected, T desired) {
     using namespace dcss_detail;
+    telemetry::count(telemetry::Ctr::kCasVerifyCalls);
     Descriptor& d = my_descriptor();
     const uint64_t expected_w = encode(expected);
 
@@ -117,6 +118,7 @@ class AtomicVerifiable {
     while (true) {
       uint64_t w = word_.load(std::memory_order_acquire);
       if (is_marked(w)) {
+        telemetry::count(telemetry::Ctr::kCasVerifyRetries);
         help(w);
         continue;
       }
@@ -125,12 +127,16 @@ class AtomicVerifiable {
                                       std::memory_order_acq_rel)) {
         break;
       }
+      telemetry::count(telemetry::Ctr::kCasVerifyRetries);
     }
     complete(&d, use);
     const uint64_t dec = d.decision.load(std::memory_order_acquire);
     // Only this thread advances the descriptor to its next use, so the
     // decision still belongs to `use` here.
-    if ((dec & 3) == kFailed) throw EpochVerifyException{};
+    if ((dec & 3) == kFailed) {
+      telemetry::count(telemetry::Ctr::kCasVerifyEpochFails);
+      throw EpochVerifyException{};
+    }
     return true;
   }
 

@@ -9,6 +9,7 @@
 
 #include "nvm/region.hpp"
 #include "util/env.hpp"
+#include "util/telemetry.hpp"
 #include "util/timing.hpp"
 
 namespace montage {
@@ -168,6 +169,7 @@ void EpochSys::advancer_loop() {
 // ---- operation lifecycle ----------------------------------------------------
 
 uint64_t EpochSys::begin_op() {
+  telemetry::count(telemetry::Ctr::kOpsBegun);
   ThreadData& td = my_td();
   if (td.in_op) {
     // Tolerated only when the previous op was adopted while this thread
@@ -218,7 +220,9 @@ uint64_t EpochSys::begin_op() {
 
   // Help any waiting sync(): write back our own stale buffers early.
   if (syncs_pending_.load(std::memory_order_relaxed) > 0) {
-    if (drain_ring(td, e - 1) > 0) fence_retry();
+    const std::size_t helped = drain_ring(td, e - 1);
+    telemetry::count(telemetry::Ctr::kWbHelp, helped);
+    if (helped > 0) fence_retry();
   }
 
   // Label payloads allocated before the operation began (paper §3.1).
@@ -305,6 +309,7 @@ void EpochSys::end_op() {
     std::exception_ptr persist_failure;
     try {
       if (opts_.write_back == WriteBack::kPerOp && !td.per_op_writes.empty()) {
+        telemetry::count(telemetry::Ctr::kWbDirect, td.per_op_writes.size());
         for (PBlk* p : td.per_op_writes) persist_block(p);
         fence_retry();
       } else if (opts_.write_back == WriteBack::kImmediate && td.wrote) {
@@ -358,6 +363,7 @@ void EpochSys::finish_adopted_op(ThreadData& td) {
 void EpochSys::abort_op() noexcept {
   ThreadData& td = my_td();
   if (!td.in_op) return;
+  telemetry::count(telemetry::Ctr::kOpsAborted);
   if (!opts_.transient) {
     const uint64_t e = td.op_epoch;
     {
@@ -520,6 +526,7 @@ void EpochSys::register_write_locked(ThreadData& td, PBlk* p) {
       // late owner write-back could reseal a dead-marked header. Montage's
       // buffered mode never persists on this path, so the lock is off the
       // paper's fast path.
+      telemetry::count(telemetry::Ctr::kWbDirect);
       persist_block(p);
       td.wrote = true;
       break;
@@ -609,7 +616,13 @@ void EpochSys::persist_retry(const void* addr, std::size_t len) {
       // Transient device error (full write queue, injected EIO): back off
       // exponentially and reissue. Anything else — notably an armed
       // CrashPointException — propagates untouched.
-      if (attempt > opts_.wb_max_retries) throw PersistError(attempt);
+      if (attempt > opts_.wb_max_retries) {
+        telemetry::count(telemetry::Ctr::kPersistErrors);
+        telemetry::trace(telemetry::Ev::kPersistError, attempt);
+        throw PersistError(attempt);
+      }
+      telemetry::count(telemetry::Ctr::kEioRetries);
+      telemetry::trace(telemetry::Ev::kEioRetry, attempt);
       util::spin_for_ns(backoff);
       backoff = std::min(backoff * 2, kMaxBackoffNs);
     }
@@ -623,7 +636,13 @@ void EpochSys::fence_retry() {
       ral_->region()->fence();
       return;
     } catch (const nvm::IoError&) {
-      if (attempt > opts_.wb_max_retries) throw PersistError(attempt);
+      if (attempt > opts_.wb_max_retries) {
+        telemetry::count(telemetry::Ctr::kPersistErrors);
+        telemetry::trace(telemetry::Ev::kPersistError, attempt);
+        throw PersistError(attempt);
+      }
+      telemetry::count(telemetry::Ctr::kEioRetries);
+      telemetry::trace(telemetry::Ev::kEioRetry, attempt);
       util::spin_for_ns(backoff);
       backoff = std::min(backoff * 2, kMaxBackoffNs);
     }
@@ -637,6 +656,7 @@ void EpochSys::ring_push(ThreadData& td, uint64_t e, PBlk* p) {
   if (opts_.buffer_capacity != 0 && ring.size() >= opts_.buffer_capacity) {
     // Incremental write-back of the oldest entry (paper §5.2: essential so
     // the background thread never faces unbounded buffers).
+    telemetry::count(telemetry::Ctr::kWbOverflow);
     persist_block(ring.front());
     ring.pop_front();
   }
@@ -668,18 +688,20 @@ void EpochSys::reclaim_now(PBlk* p) {
   persist_retry(p, sizeof(PBlk));
 }
 
-void EpochSys::reclaim_list(ThreadData& td, uint64_t e) {
+std::size_t EpochSys::reclaim_list(ThreadData& td, uint64_t e) {
   std::vector<PBlk*> victims;
   {
     std::lock_guard lk(td.m);
     victims.swap(td.to_free[e % 4]);
   }
-  if (victims.empty()) return;
+  if (victims.empty()) return 0;
   // Persistently invalidate headers before reuse so a later crash can never
   // resurrect a reclaimed payload, then fence once for the whole batch.
   for (PBlk* p : victims) reclaim_now(p);
   fence_retry();
   for (PBlk* p : victims) ral_->deallocate(p);
+  telemetry::count(telemetry::Ctr::kBlocksReclaimed, victims.size());
+  return victims.size();
 }
 
 bool EpochSys::wait_all(uint64_t e, uint64_t abs_deadline_ns) {
@@ -757,6 +779,8 @@ void EpochSys::adopt_thread(int tid, uint64_t upto) {
   td.op_start_ns.store(0, std::memory_order_release);
   td.active.store(kNoEpoch, std::memory_order_release);
   adopted_ops_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::count(telemetry::Ctr::kAdoptions);
+  telemetry::trace(telemetry::Ev::kAdoption, static_cast<uint64_t>(tid), e);
 }
 
 void EpochSys::advance_epoch() {
@@ -765,6 +789,10 @@ void EpochSys::advance_epoch() {
 
 bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
   if (opts_.transient) return true;
+  // Advance latency is measured from entry (lock wait included — contention
+  // on the advance mutex IS part of what a slow clock feels like).
+  uint64_t t0 = 0;
+  if constexpr (telemetry::kEnabled) t0 = util::now_ns();
   std::unique_lock lk(advance_mutex_, std::defer_lock);
   if (abs_deadline_ns == kNoDeadline) {
     lk.lock();
@@ -788,14 +816,23 @@ bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
   for (int t = 0; t < hwm; ++t) drained += drain_ring(tds_[t], e - 1);
   if (drained > 0) fence_retry();
   // 3. Reclaim payloads whose grace period expired (unless workers do it).
+  std::size_t reclaimed = 0;
   if (!opts_.local_free) {
-    for (int t = 0; t < hwm; ++t) reclaim_list(tds_[t], e - 2);
+    for (int t = 0; t < hwm; ++t) reclaimed += reclaim_list(tds_[t], e - 2);
   }
   // 4. Tick and persist the clock; epochs <= e-1 are now durable.
   clock_->store(e + 1, std::memory_order_release);
   persist_retry(clock_, sizeof(*clock_));
   fence_retry();
   last_tick_ns_.store(util::now_ns(), std::memory_order_relaxed);
+  if constexpr (telemetry::kEnabled) {
+    telemetry::count(telemetry::Ctr::kEpochAdvances);
+    telemetry::count(telemetry::Ctr::kWbBoundary, drained);
+    telemetry::observe(telemetry::Hist::kAdvanceLatency, util::now_ns() - t0);
+    telemetry::observe(telemetry::Hist::kDrainBatch, drained);
+    telemetry::observe(telemetry::Hist::kReclaimBatch, reclaimed);
+  }
+  telemetry::trace(telemetry::Ev::kEpochAdvance, e + 1, drained);
   return true;
 }
 
@@ -809,6 +846,7 @@ void EpochSys::help_persist_up_to(uint64_t e) {
   for (uint64_t x = lo; x <= e; ++x) {
     for (int t = 0; t < hwm; ++t) drained += drain_ring(tds_[t], x);
   }
+  telemetry::count(telemetry::Ctr::kWbHelp, drained);
   if (drained > 0) fence_retry();
 }
 
@@ -817,6 +855,9 @@ void EpochSys::sync() { (void)sync_for(kNoDeadline); }
 bool EpochSys::sync_for(uint64_t deadline_ns) {
   if (opts_.transient) return true;
   assert(!my_td().in_op && "sync() may not be called inside an operation");
+  telemetry::count(telemetry::Ctr::kSyncCalls);
+  uint64_t t0 = 0;
+  if constexpr (telemetry::kEnabled) t0 = util::now_ns();
   const uint64_t abs_deadline = deadline_ns == kNoDeadline
                                     ? kNoDeadline
                                     : util::now_ns() + deadline_ns;
@@ -832,9 +873,28 @@ bool EpochSys::sync_for(uint64_t deadline_ns) {
   // operation, not by the epoch length. With a deadline, a wedged peer that
   // adoption cannot (or may not) clear makes this return false instead of
   // hanging.
+  uint64_t advances = 0;
   while (clock_->load(std::memory_order_acquire) < target + 2) {
     help_persist_up_to(clock_->load(std::memory_order_acquire) - 1);
-    if (!try_advance_epoch(abs_deadline)) return false;
+    if (!try_advance_epoch(abs_deadline)) {
+      telemetry::count(telemetry::Ctr::kSyncTimeouts);
+      if constexpr (telemetry::kEnabled) {
+        telemetry::observe(telemetry::Hist::kSyncLatency,
+                           util::now_ns() - t0);
+      }
+      return false;
+    }
+    ++advances;
+  }
+  // Fast path: a concurrent advancer had already moved the clock past
+  // target+2 — this caller drove no advance of its own.
+  if (advances == 0) {
+    telemetry::count(telemetry::Ctr::kSyncFast);
+  } else {
+    telemetry::trace(telemetry::Ev::kSyncSlow, advances);
+  }
+  if constexpr (telemetry::kEnabled) {
+    telemetry::observe(telemetry::Hist::kSyncLatency, util::now_ns() - t0);
   }
   return true;
 }
@@ -886,12 +946,17 @@ void EpochSys::watchdog_poke(ThreadData& td) {
   // Per-thread jitter on top of the threshold so a stampede of workers does
   // not pile onto the advance mutex the instant the clock goes stale.
   if (td.wd_rng == 0) {
-    td.wd_rng = (now << 1) ^
-                (static_cast<uint64_t>(util::thread_id() + 1) << 32) | 1;
+    td.wd_rng =
+        ((now << 1) ^ (static_cast<uint64_t>(util::thread_id() + 1) << 32)) |
+        1;
   }
   const uint64_t jitter = xorshift64(td.wd_rng) % (watchdog_ns_ / 2 + 1);
   if (now - last < watchdog_ns_ + jitter) return;
-  if (!advancer_alive()) start_advancer();
+  if (!advancer_alive()) {
+    telemetry::count(telemetry::Ctr::kWatchdogRestarts);
+    telemetry::trace(telemetry::Ev::kWatchdogRestart, now - last);
+    start_advancer();
+  }
   // Also drive the clock cooperatively: the restarted advancer first sleeps
   // a full epoch, and it may die again immediately (persistent fault).
   try {
@@ -912,6 +977,15 @@ std::vector<PBlk*> EpochSys::recover(int nthreads) {
   std::lock_guard advance_lk(advance_mutex_);
   const uint64_t cutoff = crash_epoch_ - 2;
   nvm::Region* region = ral_->region();
+
+  // Restore the pre-crash trace from the region's annex (if an armed crash
+  // dumped one) so post-crash diagnosis sees the history leading up to the
+  // failure, then narrate recovery itself. The merged trace is re-dumped at
+  // the end, so the annex survives recovery instead of being clobbered.
+  if (telemetry::trace_enabled()) {
+    telemetry::trace_restore(region->crash_trace());
+  }
+  telemetry::trace(telemetry::Ev::kRecoveryPhase, 0, crash_epoch_);
 
   std::atomic<std::size_t> discarded_late{0};
   std::atomic<std::size_t> quarantined{0};
@@ -967,6 +1041,7 @@ std::vector<PBlk*> EpochSys::recover(int nthreads) {
   std::unordered_map<uint64_t, PBlk*> best;
   std::size_t total = 0;
   for (auto& v : shard_survivors) total += v.size();
+  telemetry::trace(telemetry::Ev::kRecoveryPhase, 1, total);
   best.reserve(total);
   std::vector<PBlk*> losers;
   for (auto& v : shard_survivors) {
@@ -991,6 +1066,7 @@ std::vector<PBlk*> EpochSys::recover(int nthreads) {
   for (PBlk* p : losers) reclaim_now(p);
   region->fence();
   for (PBlk* p : losers) ral_->deallocate(p);
+  telemetry::trace(telemetry::Ev::kRecoveryPhase, 2, result.size());
 
   last_recovery_report_.recovered = result.size();
   last_recovery_report_.discarded_late_epoch =
@@ -1006,6 +1082,9 @@ std::vector<PBlk*> EpochSys::recover(int nthreads) {
   // same result if a crash lands anywhere inside recovery, because the
   // durable clock — and hence the cutoff — has not moved yet.
   region->persist_fence(clock_, sizeof(*clock_));
+  telemetry::trace(telemetry::Ev::kRecoveryPhase, 3,
+                   clock_->load(std::memory_order_relaxed));
+  region->dump_trace_annex();
   return result;
 }
 

@@ -44,6 +44,7 @@
 #include "montage/mindicator.hpp"
 #include "montage/pblk.hpp"
 #include "ralloc/ralloc.hpp"
+#include "util/telemetry.hpp"
 #include "util/threadid.hpp"
 
 namespace montage {
@@ -52,6 +53,7 @@ namespace montage {
 /// epoch (paper §3.2): the reader must restart in the newer epoch (or use
 /// get_unsafe_* when the value is only a performance hint).
 struct OldSeeNewException : public std::exception {
+  /// Human-readable reason (std::exception interface).
   const char* what() const noexcept override {
     return "montage: operation observed a payload from a newer epoch";
   }
@@ -59,6 +61,7 @@ struct OldSeeNewException : public std::exception {
 
 /// Raised by CHECK_EPOCH / CAS_verify when the epoch advanced mid-operation.
 struct EpochVerifyException : public std::exception {
+  /// Human-readable reason (std::exception interface).
   const char* what() const noexcept override {
     return "montage: epoch advanced during the operation";
   }
@@ -70,6 +73,7 @@ struct EpochVerifyException : public std::exception {
 /// the correct reaction is the same — the operation did not happen; restart
 /// it in the current epoch.
 struct OrphanedOperationException : public EpochVerifyException {
+  /// Human-readable reason (std::exception interface).
   const char* what() const noexcept override {
     return "montage: operation was adopted by the advancer while stalled";
   }
@@ -79,6 +83,7 @@ struct OrphanedOperationException : public EpochVerifyException {
 /// budget (Options::wb_max_retries). The epoch system remains usable; the
 /// failing payloads stay queued and are retried at the next epoch boundary.
 struct PersistError : public std::runtime_error {
+  /// `attempts_` = persist attempts made before the budget ran out.
   explicit PersistError(uint64_t attempts_)
       : std::runtime_error(
             "montage: write-back failed after retries (transient I/O error "
@@ -142,6 +147,7 @@ class EpochSys {
   /// Builds on `ral` (which manages the NVM region). `recover` selects
   /// whether the persistent epoch clock is formatted or resumed.
   EpochSys(ralloc::Ralloc* ral, const Options& opts, bool recover = false);
+  /// Stops the advancer and releases the process-default slot if held.
   ~EpochSys();
   EpochSys(const EpochSys&) = delete;
   EpochSys& operator=(const EpochSys&) = delete;
@@ -151,6 +157,8 @@ class EpochSys {
   /// Register the calling thread as active in the current epoch. Returns the
   /// operation's epoch. Lock-free: retries only when the epoch advances.
   uint64_t begin_op();
+  /// Commit the calling thread's active operation: perform any per-op
+  /// write-back policy work and release the operation-tracker slot.
   void end_op();
   /// Roll back the calling thread's active operation after it threw: every
   /// payload the operation allocated is dead-marked (DRAM only — an aborted
@@ -161,6 +169,7 @@ class EpochSys {
   /// including unwinding a CrashPointException. No-op when no operation is
   /// active.
   void abort_op() noexcept;
+  /// True while the calling thread has an operation open.
   bool in_op() const;
   /// True iff the clock still equals the active operation's epoch.
   bool check_epoch() const;
@@ -209,7 +218,10 @@ class EpochSys {
   /// running operation.
   void osn_check(const PBlk* p) const {
     const ThreadData& td = my_td();
-    if (td.in_op && p->epoch_ > td.op_epoch) throw OldSeeNewException{};
+    if (td.in_op && p->epoch_ > td.op_epoch) {
+      telemetry::count(telemetry::Ctr::kOsnExceptions);
+      throw OldSeeNewException{};
+    }
   }
 
   // ---- persistence control --------------------------------------------------
@@ -228,6 +240,7 @@ class EpochSys {
   /// Advance the epoch once (normally invoked by the background thread).
   void advance_epoch();
 
+  /// Current value of the global epoch clock.
   uint64_t current_epoch() const {
     return clock_->load(std::memory_order_acquire);
   }
@@ -288,22 +301,30 @@ class EpochSys {
     return last_recovery_report_;
   }
 
+  /// The allocator this EpochSys was built on.
   ralloc::Ralloc* ralloc() const { return ral_; }
+  /// Effective options (env overrides applied).
   const Options& options() const { return opts_; }
+  /// The min-epoch tracker over per-thread write-back buffers.
   const Mindicator& mindicator() const { return mind_; }
 
   // ---- thread-local access for the field macros ------------------------------
 
   /// The EpochSys of the calling thread's innermost active operation.
   static EpochSys* tls_current();
+  /// osn_check against the calling thread's active EpochSys (no-op outside
+  /// an operation).
   static void tls_osn_check(const PBlk* p);
+  /// ensure_writable against the calling thread's active EpochSys.
   static PBlk* tls_ensure_writable(PBlk* p);
+  /// register_write against the calling thread's active EpochSys.
   static void tls_register_write(PBlk* p);
 
   /// Process-default instance, used by PNEW/PDELETE outside an operation.
   /// The first EpochSys constructed becomes the default; destroying it
   /// clears the slot. Multi-instance programs should set this explicitly.
   static EpochSys* default_esys();
+  /// Override the process-default instance (nullptr clears it).
   static void set_default_esys(EpochSys* esys);
 
  private:
@@ -356,8 +377,9 @@ class EpochSys {
   /// hold td.m. Returns number of blocks written back.
   std::size_t drain_ring(ThreadData& td, uint64_t e);
 
-  /// Invalidate and reclaim every block on `td.to_free[e % 4]`.
-  void reclaim_list(ThreadData& td, uint64_t e);
+  /// Invalidate and reclaim every block on `td.to_free[e % 4]`; returns the
+  /// number of blocks reclaimed.
+  std::size_t reclaim_list(ThreadData& td, uint64_t e);
   void reclaim_now(PBlk* p);
 
   /// Wait until no operation is active in epoch <= e, adopting operations
@@ -426,10 +448,12 @@ class EpochSys {
 /// operation rather than committing it.
 class MontageOpHolder {
  public:
+  /// begin_op on `esys` immediately.
   explicit MontageOpHolder(EpochSys* esys)
       : esys_(esys), uncaught_(std::uncaught_exceptions()) {
     esys_->begin_op();
   }
+  /// end_op on normal exit, abort_op when unwinding an exception.
   ~MontageOpHolder() {
     if (std::uncaught_exceptions() > uncaught_) {
       esys_->abort_op();

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "util/padded.hpp"
+#include "util/telemetry.hpp"
 
 namespace montage {
 
@@ -40,6 +41,7 @@ class Mindicator {
   /// Ignored while the leaf is parked: an evicted orphan that wakes up with
   /// a stale view cannot re-pin the minimum.
   void set(int i, uint64_t v) {
+    telemetry::count(telemetry::Ctr::kMindicatorUpdates);
     if (parked_[i].load(std::memory_order_acquire)) return;
     propagate(i, v);
     // A park that raced in between the check and the store wrote kIdle
@@ -54,6 +56,7 @@ class Mindicator {
   /// thread — its unpersisted work is now the adopter's responsibility, so
   /// the dead thread must stop holding the minimum down.
   void park(int i) {
+    telemetry::count(telemetry::Ctr::kMindicatorParks);
     parked_[i].store(true, std::memory_order_release);
     propagate(i, kIdle);
   }

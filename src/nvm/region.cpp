@@ -15,6 +15,7 @@
 
 #include "util/env.hpp"
 #include "util/rand.hpp"
+#include "util/telemetry.hpp"
 #include "util/timing.hpp"
 
 namespace montage::nvm {
@@ -35,6 +36,10 @@ Region* g_region = nullptr;
 }  // namespace
 
 Region::Region(const RegionOptions& opts) : opts_(opts) {
+  // Every Montage stack constructs a Region first, so this is the central
+  // hook for the telemetry knobs (MONTAGE_TRACE / MONTAGE_STATS); malformed
+  // values throw here, like the fault-injection knobs below.
+  telemetry::init_from_env();
   if (opts_.size < kHeaderSize * 2) {
     throw std::invalid_argument("nvm::Region: size too small");
   }
@@ -80,9 +85,20 @@ Region::Region(const RegionOptions& opts) : opts_(opts) {
       fail_events(at, util::env_u64_checked("MONTAGE_EIO_COUNT", 1));
     }
   }
+  gauge_lines_ = telemetry::register_gauge(
+      "nvm.lines_flushed", "lines", [this] { return lines_flushed_.read(); });
+  gauge_fences_ = telemetry::register_gauge(
+      "nvm.fences", "fences", [this] { return fences_.read(); });
 }
 
 Region::~Region() {
+  // Unregister before tearing down the counters the gauge closures read,
+  // then fold this region's totals into the process-wide cumulative
+  // counters so stats dumped after teardown still account for it.
+  telemetry::unregister_gauge(gauge_lines_);
+  telemetry::unregister_gauge(gauge_fences_);
+  telemetry::count(telemetry::Ctr::kNvmLinesFlushed, lines_flushed_.read());
+  telemetry::count(telemetry::Ctr::kNvmFences, fences_.read());
   if (base_ != nullptr) ::munmap(base_, opts_.size);
   if (fd_ >= 0) ::close(fd_);
 }
@@ -116,10 +132,15 @@ void Region::bump_event() {
   const uint64_t target = crash_at_.load(std::memory_order_relaxed);
   // Fires on equality only, so each arming interrupts exactly one event;
   // later events (unwinding cleanup, recovery) run normally until re-armed.
-  if (target != 0 && n == target) throw CrashPointException{};
+  if (target != 0 && n == target) {
+    telemetry::trace(telemetry::Ev::kCrashDump, n);
+    dump_trace_annex();
+    throw CrashPointException{};
+  }
   const uint64_t from = eio_from_.load(std::memory_order_relaxed);
   if (from != 0 && n >= from &&
       n - from < eio_count_.load(std::memory_order_relaxed)) {
+    telemetry::count(telemetry::Ctr::kNvmEioInjected);
     throw IoError{};
   }
 }
@@ -131,7 +152,7 @@ void Region::persist(const void* addr, std::size_t len) {
   const uint64_t first = line_of(addr);
   const uint64_t last = line_of(static_cast<const char*>(addr) + len - 1);
   const uint64_t nlines = last - first + 1;
-  lines_flushed_.fetch_add(nlines, std::memory_order_relaxed);
+  lines_flushed_.add(nlines);
   switch (opts_.mode) {
     case PersistMode::kPassthrough:
       break;
@@ -160,7 +181,7 @@ void Region::persist(const void* addr, std::size_t len) {
 
 void Region::fence() {
   if (opts_.mode == PersistMode::kTracked) bump_event();
-  fences_.fetch_add(1, std::memory_order_relaxed);
+  fences_.add();
   switch (opts_.mode) {
     case PersistMode::kPassthrough:
       break;
@@ -228,13 +249,34 @@ void Region::evict_random_lines(uint64_t n, uint64_t seed) {
 }
 
 RegionStatsSnapshot Region::stats() const {
-  return {lines_flushed_.load(std::memory_order_relaxed),
-          fences_.load(std::memory_order_relaxed)};
+  return {lines_flushed_.read(), fences_.read()};
 }
 
 void Region::reset_stats() {
-  lines_flushed_.store(0, std::memory_order_relaxed);
-  fences_.store(0, std::memory_order_relaxed);
+  lines_flushed_.reset();
+  fences_.reset();
+}
+
+void Region::dump_trace_annex() {
+  char buf[kTraceAnnexSize];
+  const std::size_t n = telemetry::trace_serialize(buf, kTraceAnnexSize);
+  if (n == 0) return;  // tracing off/empty or telemetry compiled out
+  std::memcpy(base_ + kTraceAnnexOffset, buf, n);
+  if (opts_.mode == PersistMode::kTracked) {
+    // Commit the annex lines straight to the crash shadow, bypassing
+    // persist()/fence() so no persistence events are counted and armed
+    // crash schedules keep their numbering. Safe here: bump_event() runs
+    // before persist/fence/evict take commit_m_ or any pending lock.
+    std::lock_guard lk(commit_m_);
+    const uint64_t first = line_of(base_ + kTraceAnnexOffset);
+    const uint64_t last = line_of(base_ + kTraceAnnexOffset + n - 1);
+    for (uint64_t l = first; l <= last; ++l) commit_line(l);
+  }
+}
+
+std::vector<telemetry::TraceEvent> Region::crash_trace() const {
+  return telemetry::trace_deserialize(base_ + kTraceAnnexOffset,
+                                      kTraceAnnexSize);
 }
 
 }  // namespace montage::nvm

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "util/padded.hpp"
+#include "util/telemetry.hpp"
 
 namespace montage::nvm {
 
@@ -51,6 +52,7 @@ enum class PersistMode { kPassthrough, kLatency, kTracked };
 /// it — so a harness that catches this, calls simulate_crash() and reruns
 /// recovery observes exactly the crash state at that persistence boundary.
 struct CrashPointException : public std::exception {
+  /// Human-readable reason (std::exception interface).
   const char* what() const noexcept override {
     return "nvm: scheduled crash point reached";
   }
@@ -63,6 +65,7 @@ struct CrashPointException : public std::exception {
 /// retry, and each retry issues a new persistence event that marches through
 /// the armed window until it succeeds.
 struct IoError : public std::exception {
+  /// Human-readable reason (std::exception interface).
   const char* what() const noexcept override {
     return "nvm: injected transient I/O error (EIO)";
   }
@@ -80,6 +83,10 @@ struct RegionOptions {
   uint64_t wpq_backlog_ns = 10'000;
 };
 
+/// A consistent point-in-time aggregate of the region's persistence
+/// traffic. Each field is the aggregate-on-read sum of per-thread sharded
+/// slots (telemetry::ShardedCounter), so the snapshot never observes the
+/// torn values a pair of contended process-wide atomics could yield.
 struct RegionStatsSnapshot {
   uint64_t lines_flushed = 0;
   uint64_t fences = 0;
@@ -92,8 +99,18 @@ class Region {
   static constexpr int kNumRoots = 8;
   static constexpr int kMaxThreads = 256;
   static constexpr uint64_t kMagic = 0x4D4F4E5441474531ull;  // "MONTAGE1"
+  /// Persistent trace annex: header bytes [kTraceAnnexOffset, kHeaderSize)
+  /// hold the serialized telemetry event trace dumped at an armed crash
+  /// (and by recovery), so a post-crash trace survives in the region.
+  static constexpr std::size_t kTraceAnnexOffset = 1024;
+  static constexpr std::size_t kTraceAnnexSize =
+      kHeaderSize - kTraceAnnexOffset;
 
+  /// Map (or create) the arena; reads MONTAGE_CRASH_AT / MONTAGE_EIO_* /
+  /// MONTAGE_TRACE / MONTAGE_STATS (strictly validated — garbage throws).
   explicit Region(const RegionOptions& opts);
+  /// Unmap the arena, folding this region's flush/fence totals into the
+  /// process-wide telemetry registry first.
   ~Region();
   Region(const Region&) = delete;
   Region& operator=(const Region&) = delete;
@@ -101,16 +118,24 @@ class Region {
   /// Process-wide region used by the convenience singletons higher up the
   /// stack. init_global replaces any previous instance.
   static void init_global(const RegionOptions& opts);
+  /// The process-wide region (nullptr before init_global).
   static Region* global();
+  /// Unmap and forget the process-wide region (no-op when absent).
   static void destroy_global();
 
+  /// Start of the mapped region (the 4 KiB header lives here).
   char* base() const { return base_; }
+  /// Total mapped size in bytes, header included.
   std::size_t size() const { return opts_.size; }
+  /// First allocatable byte, just past the header.
   char* arena_begin() const { return base_ + kHeaderSize; }
+  /// One past the last mapped byte.
   char* arena_end() const { return base_ + opts_.size; }
+  /// True when `p` points into the mapped region (header or arena).
   bool contains(const void* p) const {
     return p >= base_ && p < base_ + opts_.size;
   }
+  /// The persistence-emulation mode this region was created with.
   PersistMode mode() const { return opts_.mode; }
 
   /// 64-bit root slots in the header. Callers persist them explicitly.
@@ -123,6 +148,8 @@ class Region {
   /// sfence emulation: make this thread's outstanding writes-back durable.
   void fence();
 
+  /// persist() immediately ordered by a fence(): [addr, len) is durable on
+  /// return.
   void persist_fence(const void* addr, std::size_t len) {
     persist(addr, len);
     fence();
@@ -161,6 +188,7 @@ class Region {
   void crash_at_event(uint64_t n) {
     crash_at_.store(n, std::memory_order_relaxed);
   }
+  /// Disarm any pending crash schedule.
   void clear_crash_schedule() { crash_at_event(0); }
 
   /// Arm a transient-failure window: persistence events with 1-based index
@@ -173,10 +201,28 @@ class Region {
     eio_count_.store(count, std::memory_order_relaxed);
     eio_from_.store(from, std::memory_order_relaxed);
   }
+  /// Disarm any pending transient-failure window.
   void clear_eio_schedule() { fail_events(0, 0); }
 
+  /// Consistent aggregate of lines flushed / fences issued since the last
+  /// reset_stats() (aggregate-on-read over per-thread shards).
   RegionStatsSnapshot stats() const;
+  /// Zero the flush/fence statistics (adds racing with the reset may
+  /// survive into the next snapshot).
   void reset_stats();
+
+  /// Serialize the live telemetry event trace into the persistent annex
+  /// ([kTraceAnnexOffset, kHeaderSize)). In kTracked mode the annex lines
+  /// are committed straight to the crash shadow — emulating the eADR-style
+  /// flush-on-power-fail window — WITHOUT counting persistence events, so
+  /// crash-schedule numbering is unchanged. Called automatically when an
+  /// armed crash fires; no-op when tracing is off or compiled out.
+  void dump_trace_annex();
+
+  /// Deserialize the annex left by a pre-crash dump_trace_annex(); empty if
+  /// no (valid) annex is present. EpochSys::recover() restores this into
+  /// the live trace so post-crash diagnosis sees pre-crash history.
+  std::vector<telemetry::TraceEvent> crash_trace() const;
 
  private:
   struct alignas(util::kCacheLineSize) PendingLines {
@@ -199,19 +245,23 @@ class Region {
   std::unique_ptr<char[]> shadow_;  // kTracked persistent image
   std::mutex commit_m_;  // kTracked: serializes shadow commits (fence/evict)
   std::unique_ptr<PendingLines[]> pending_;
-  std::atomic<uint64_t> lines_flushed_{0};
-  std::atomic<uint64_t> fences_{0};
+  telemetry::ShardedCounter lines_flushed_;  // per-thread shards; see stats()
+  telemetry::ShardedCounter fences_;
+  int gauge_lines_ = -1;  // telemetry gauge handles (unregistered in dtor)
+  int gauge_fences_ = -1;
   std::atomic<uint64_t> events_{0};    // kTracked persistence-event clock
   std::atomic<uint64_t> crash_at_{0};  // 0 = disarmed
   std::atomic<uint64_t> eio_from_{0};  // EIO window start; 0 = disarmed
   std::atomic<uint64_t> eio_count_{0};
 };
 
-/// Convenience wrappers against the global region.
+/// Convenience wrapper: Region::global()->persist(p, n).
 inline void persist(const void* p, std::size_t n) {
   Region::global()->persist(p, n);
 }
+/// Convenience wrapper: Region::global()->fence().
 inline void fence() { Region::global()->fence(); }
+/// Convenience wrapper: Region::global()->persist_fence(p, n).
 inline void persist_fence(const void* p, std::size_t n) {
   Region::global()->persist_fence(p, n);
 }

@@ -6,6 +6,8 @@
 #include <string>
 #include <thread>
 
+#include "util/telemetry.hpp"
+
 namespace montage::ralloc {
 
 namespace {
@@ -67,6 +69,8 @@ void Ralloc::set_default_instance(Ralloc* r) {
 }
 
 Ralloc::~Ralloc() {
+  telemetry::unregister_gauge(gauge_sbs_);
+  telemetry::unregister_gauge(gauge_bytes_);
   Ralloc* self = this;
   g_default_ralloc.compare_exchange_strong(self, nullptr,
                                            std::memory_order_acq_rel);
@@ -89,6 +93,13 @@ Ralloc::Ralloc(nvm::Region* region, Mode mode)
   Ralloc* expected = nullptr;
   g_default_ralloc.compare_exchange_strong(expected, this,
                                            std::memory_order_acq_rel);
+  gauge_sbs_ = telemetry::register_gauge("ralloc.superblocks", "sbs", [this] {
+    return sb_count_->load(std::memory_order_relaxed);
+  });
+  gauge_bytes_ =
+      telemetry::register_gauge("ralloc.bytes_reserved", "bytes", [this] {
+        return sb_count_->load(std::memory_order_relaxed) * kSuperblockSize;
+      });
   if (mode == Mode::kFresh) {
     sb_count_->store(0, std::memory_order_relaxed);
     region_->persist_fence(sb_count_, sizeof(*sb_count_));
@@ -194,6 +205,7 @@ std::size_t Ralloc::reserve_superblocks(uint32_t n, uint64_t magic,
   region_->persist_fence(sb_count_, sizeof(*sb_count_));
   extents_.push_back({static_cast<std::size_t>(start), n, block_size,
                       magic == kSbMagicHuge, false});
+  telemetry::count(telemetry::Ctr::kRallocSuperblocks, n);
   return start;
 }
 
@@ -211,6 +223,7 @@ void Ralloc::refill_class(int cls) {
 }
 
 void* Ralloc::allocate(std::size_t sz) {
+  telemetry::count(telemetry::Ctr::kRallocAllocs);
   if (sz == 0) sz = 1;
   const int cls = class_index(sz);
   if (cls < 0) return allocate_huge(sz);
@@ -248,6 +261,7 @@ void* Ralloc::allocate(std::size_t sz) {
 
 void Ralloc::deallocate(void* p) {
   if (p == nullptr) return;
+  telemetry::count(telemetry::Ctr::kRallocFrees);
   assert(contains(p));
   const SbMeta* meta = sb_meta(sb_index_of(p));
   if (meta->magic == kSbMagicHuge) {
@@ -285,6 +299,7 @@ std::size_t Ralloc::block_size(const void* p) const {
 }
 
 void* Ralloc::allocate_huge(std::size_t sz) {
+  telemetry::count(telemetry::Ctr::kRallocHugeAllocs);
   const uint32_t nsbs = static_cast<uint32_t>(
       (sz + kSbHeader + kSuperblockSize - 1) / kSuperblockSize);
   {

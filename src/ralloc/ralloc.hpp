@@ -187,6 +187,9 @@ class Ralloc {
   std::atomic<std::size_t> huge_extents_{0};
   std::vector<Extent> extents_;  // guarded by sb_mutex_ after construction
   RecoverySummary summary_;
+  // Telemetry gauges mirroring stats(); unregistered in the destructor.
+  int gauge_sbs_ = -1;
+  int gauge_bytes_ = -1;
 };
 
 }  // namespace montage::ralloc

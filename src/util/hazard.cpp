@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/telemetry.hpp"
+
 namespace montage::util {
 
 namespace {
@@ -48,6 +50,7 @@ HazardDomain::RetiredList::~RetiredList() {
     }
   }
   if (!still_protected.empty()) {
+    telemetry::count(telemetry::Ctr::kHazardOrphaned, still_protected.size());
     std::lock_guard lk(d.orphans_m_);
     for (auto& r : still_protected) d.orphans_.push_back(std::move(r));
   }
@@ -79,6 +82,7 @@ void HazardDomain::clear_all() {
 }
 
 void HazardDomain::retire(void* ptr, std::function<void(void*)> deleter) {
+  telemetry::count(telemetry::Ctr::kHazardRetired);
   retired_.items.push_back({ptr, std::move(deleter)});
   if (retired_.items.size() >= kRetireThreshold) scan();
 }
@@ -89,14 +93,17 @@ void HazardDomain::scan() {
   const auto protected_ptrs = protected_set();
   std::vector<Retired> survivors;
   survivors.reserve(retired_.items.size());
+  std::size_t reclaimed = 0;
   for (auto& r : retired_.items) {
     if (protected_ptrs.contains(r.ptr)) {
       survivors.push_back(std::move(r));
     } else {
       r.deleter(r.ptr);
+      ++reclaimed;
     }
   }
   retired_.items = std::move(survivors);
+  telemetry::count(telemetry::Ctr::kHazardReclaimed, reclaimed);
 
   // Opportunistically reclaim orphans handed off by exited threads.
   std::lock_guard lk(orphans_m_);
