@@ -4,18 +4,24 @@
 // where `value` is throughput in Mops/s unless stated otherwise.
 //
 // Environment knobs (one binary serves smoke runs and full sweeps):
-//   MONTAGE_BENCH_SECONDS  — measurement time per data point (default 0.2)
-//   MONTAGE_BENCH_THREADS  — max thread count in sweeps (default 8)
-//   MONTAGE_BENCH_SCALE    — fraction of the paper's data-set sizes
-//                            (default 0.02; 1.0 = paper scale)
-//   MONTAGE_FLUSH_NS       — emulated per-line drain latency (default 150)
-//   MONTAGE_FENCE_NS       — emulated fixed fence cost (default 300)
+//   MONTAGE_BENCH_SECONDS    — measurement time per data point (default 0.2)
+//   MONTAGE_BENCH_THREADS    — max thread count in sweeps (default 8)
+//   MONTAGE_BENCH_SCALE      — fraction of the paper's data-set sizes
+//                              (default 0.02; 1.0 = paper scale)
+//   MONTAGE_FLUSH_NS         — emulated per-line drain latency (default 150)
+//   MONTAGE_FENCE_NS         — emulated fixed fence cost (default 300)
+//   MONTAGE_BENCH_LAT_SAMPLE — time every Nth op for the latency percentile
+//                              rows (default 64; 0 disables sampling)
 //
 // Flags: --stats-json appends the telemetry registry (counters, histograms,
-// gauges, trace status) as one JSON line after the CSV rows.
+// gauges, trace status) as one JSON line after the CSV rows, and arms the
+// process-wide perf-counter gauges (perf.cycles, ...) when the kernel allows
+// them. Unknown --flags are rejected; bare words still pass through so
+// wrapper scripts can tag invocations harmlessly.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -29,6 +35,8 @@
 #include "util/barrier.hpp"
 #include "util/env.hpp"
 #include "util/inline_str.hpp"
+#include "util/padded.hpp"
+#include "util/perfcounters.hpp"
 #include "util/pin.hpp"
 #include "util/rand.hpp"
 #include "util/telemetry.hpp"
@@ -42,11 +50,49 @@ inline bool& stats_json_requested() {
   return v;
 }
 
-/// Minimal flag parsing shared by every figure binary. Unknown arguments are
-/// ignored so wrapper scripts can pass through extra context harmlessly.
+/// The process-wide perf-counter group armed by parse_args when
+/// --stats-json is requested (inherited by every worker thread).
+inline util::PerfGroup& process_perf_group() {
+  static util::PerfGroup g = util::PerfGroup::disabled();
+  return g;
+}
+
+/// Flag parsing shared by every figure binary. `--`-prefixed flags must be
+/// known (a typo'd --stats-jsom must not silently run without stats); bare
+/// words are still ignored so wrapper scripts can pass through context.
 inline void parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--stats-json") stats_json_requested() = true;
+    const std::string arg = argv[i];
+    if (arg == "--stats-json") {
+      stats_json_requested() = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--stats-json]\n"
+          "Prints CSV rows figure,series,x,value (Mops/s unless stated\n"
+          "otherwise) plus sampled latency-percentile rows per series.\n"
+          "  --stats-json   append the telemetry registry as one JSON line\n"
+          "Env knobs: MONTAGE_BENCH_SECONDS, MONTAGE_BENCH_THREADS,\n"
+          "MONTAGE_BENCH_SCALE, MONTAGE_BENCH_SERIES, MONTAGE_BENCH_LAT_SAMPLE,\n"
+          "MONTAGE_FLUSH_NS, MONTAGE_FENCE_NS (see bench/common.hpp).\n",
+          argv[0]);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n", argv[0],
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (stats_json_requested()) {
+    // Whole-run hardware counters for the stats dump; worker threads created
+    // later are inherited. Silently absent when the kernel refuses.
+    process_perf_group() = util::PerfGroup::process();
+    process_perf_group().start();
+    static std::vector<int> gauge_ids =
+        process_perf_group().register_telemetry_gauges();
+    (void)gauge_ids;  // intentionally live until exit
   }
 }
 
@@ -126,13 +172,57 @@ class BenchEnv {
   std::unique_ptr<EpochSys> esys_;
 };
 
+/// Per-op latency samples aggregated into the telemetry bucket scheme
+/// (hist_bucket_of / hist_bucket_upper), so percentile extraction is shared
+/// with the registry histograms and works in telemetry-OFF builds too.
+struct LatencyStats {
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t buckets[telemetry::kHistBuckets] = {};
+
+  /// p50/p90/p99/p999 of the sampled op latencies (all 0 when no samples).
+  telemetry::Percentiles percentiles() const {
+    telemetry::HistogramValue hv{};
+    hv.count = count;
+    hv.sum = sum_ns;
+    for (int b = 0; b < telemetry::kHistBuckets; ++b) {
+      hv.buckets[b] = buckets[b];
+    }
+    return telemetry::hist_percentiles(hv);
+  }
+};
+
+/// What one run_throughput measurement produced: aggregate throughput plus
+/// the sampled per-op latency distribution across all workers.
+struct ThroughputResult {
+  double mops = 0.0;
+  LatencyStats latency;
+};
+
+/// Latency sampling period: every Nth op per worker is timed individually
+/// (default 64 keeps the clock reads off ~98% of ops); 0 disables sampling.
+inline uint64_t latency_sample_period() {
+  static const uint64_t period =
+      util::env_u64("MONTAGE_BENCH_LAT_SAMPLE", 64);
+  return period;
+}
+
 /// Duration-based throughput driver: runs `op(tid, rng, i)` in a loop on
-/// `threads` threads for ~`seconds`, returns total Mops/s.
-inline double run_throughput(
+/// `threads` threads for ~`seconds`; returns total Mops/s plus the sampled
+/// per-op latency distribution.
+inline ThroughputResult run_throughput(
     int threads, double seconds,
     const std::function<void(int, util::Xorshift128Plus&, uint64_t)>& op) {
+  // Each worker's hot state lives on its own cache lines: an unpadded
+  // uint64_t-per-thread count array puts adjacent workers on one line and
+  // the resulting false sharing visibly skews scalability curves.
+  struct alignas(util::kCacheLineSize) WorkerSlot {
+    uint64_t ops = 0;
+    LatencyStats lat;
+  };
   util::SpinBarrier barrier(threads + 1);
-  std::vector<uint64_t> counts(threads, 0);
+  std::vector<WorkerSlot> slots(threads);
+  const uint64_t sample_period = latency_sample_period();
   std::atomic<bool> stop{false};
   std::vector<std::thread> ts;
   ts.reserve(threads);
@@ -140,14 +230,27 @@ inline double run_throughput(
     ts.emplace_back([&, t] {
       util::pin_thread(t);
       util::Xorshift128Plus rng(0x1234 + t * 7919);
+      WorkerSlot& slot = slots[t];
       barrier.arrive_and_wait();
       uint64_t i = 0;
+      // The stop flag (stored below once the measurement window closes) is
+      // checked on every iteration; it is a relaxed load of a line that
+      // stays shared-clean until the store, so it costs nothing measurable.
       while (!stop.load(std::memory_order_relaxed)) {
-        // Check the clock only every few ops via the stop flag set below.
-        op(t, rng, i);
+        if (sample_period != 0 && i % sample_period == 0) {
+          const uint64_t t0 = util::now_ns();
+          op(t, rng, i);
+          const uint64_t dt = util::now_ns() - t0;
+          slot.lat.count++;
+          slot.lat.sum_ns += dt;
+          slot.lat.buckets[telemetry::hist_bucket_of(dt)]++;
+          telemetry::observe(telemetry::Hist::kBenchOpLatency, dt);
+        } else {
+          op(t, rng, i);
+        }
         ++i;
       }
-      counts[t] = i;
+      slot.ops = i;
     });
   }
   barrier.arrive_and_wait();
@@ -158,9 +261,18 @@ inline double run_throughput(
   stop.store(true, std::memory_order_relaxed);
   for (auto& th : ts) th.join();
   const double elapsed = util::to_seconds(util::now_ns() - t0);
+  ThroughputResult r;
   uint64_t total = 0;
-  for (uint64_t c : counts) total += c;
-  return static_cast<double>(total) / elapsed / 1e6;
+  for (const WorkerSlot& s : slots) {
+    total += s.ops;
+    r.latency.count += s.lat.count;
+    r.latency.sum_ns += s.lat.sum_ns;
+    for (int b = 0; b < telemetry::kHistBuckets; ++b) {
+      r.latency.buckets[b] += s.lat.buckets[b];
+    }
+  }
+  r.mops = static_cast<double>(total) / elapsed / 1e6;
+  return r;
 }
 
 /// MONTAGE_BENCH_SERIES=<name> restricts a bench binary to one series.
@@ -174,6 +286,21 @@ inline void emit(const std::string& figure, const std::string& series,
   std::printf("%s,%s,%s,%.4f\n", figure.c_str(), series.c_str(), x.c_str(),
               value);
   std::fflush(stdout);
+}
+
+/// Emit one measurement: the throughput row, then (when latency sampling is
+/// on) one row per percentile under derived series names — e.g. series
+/// "Montage" also yields "Montage/p50_ns" .. "Montage/p999_ns". The "_ns"
+/// suffix marks the series lower-is-better for bench/compare.
+inline void emit_result(const std::string& figure, const std::string& series,
+                        const std::string& x, const ThroughputResult& r) {
+  emit(figure, series, x, r.mops);
+  if (r.latency.count == 0) return;
+  const telemetry::Percentiles p = r.latency.percentiles();
+  emit(figure, series + "/p50_ns", x, static_cast<double>(p.p50));
+  emit(figure, series + "/p90_ns", x, static_cast<double>(p.p90));
+  emit(figure, series + "/p99_ns", x, static_cast<double>(p.p99));
+  emit(figure, series + "/p999_ns", x, static_cast<double>(p.p999));
 }
 
 template <std::size_t N>

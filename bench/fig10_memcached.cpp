@@ -14,8 +14,8 @@ using kvstore::YcsbAConfig;
 using kvstore::YcsbAGenerator;
 
 template <typename Cache>
-double run_ycsb(Cache& cache, int threads, double seconds,
-                uint64_t records) {
+ThroughputResult run_ycsb(Cache& cache, int threads, double seconds,
+                          uint64_t records) {
   const CacheValue payload = []() {
     std::string s(1000, 'y');
     return CacheValue(s);
@@ -45,22 +45,22 @@ void main_impl() {
   for (int t : cfg.thread_counts()) {
     BenchEnv env(cfg);
     kvstore::TransientMemCache<ds::DramMem> cache(shards, cap_per_shard);
-    emit("fig10", "DRAM(T)", std::to_string(t),
-         run_ycsb(cache, t, cfg.seconds, records));
+    emit_result("fig10", "DRAM(T)", std::to_string(t),
+                run_ycsb(cache, t, cfg.seconds, records));
   }
   for (int t : cfg.thread_counts()) {
     BenchEnv env(cfg);
     kvstore::TransientMemCache<ds::NvmMem> cache(shards, cap_per_shard);
-    emit("fig10", "Montage(T)", std::to_string(t),
-         run_ycsb(cache, t, cfg.seconds, records));
+    emit_result("fig10", "Montage(T)", std::to_string(t),
+                run_ycsb(cache, t, cfg.seconds, records));
   }
   for (int t : cfg.thread_counts()) {
     BenchEnv env(cfg);
     EpochSys::Options opts;
     env.make_esys(opts);
     kvstore::MontageMemCache cache(env.esys(), shards, cap_per_shard);
-    emit("fig10", "Montage", std::to_string(t),
-         run_ycsb(cache, t, cfg.seconds, records));
+    emit_result("fig10", "Montage", std::to_string(t),
+                run_ycsb(cache, t, cfg.seconds, records));
   }
 }
 

@@ -28,8 +28,8 @@ void preload_graph(G& g, uint64_t capacity) {
 
 /// One op per call; edge_w : vertex_w is the paper's 4:1 / 499:1 ratio.
 template <typename G>
-double run_graph_mix(G& g, int threads, double seconds, uint64_t capacity,
-                     int edge_w, int vertex_w) {
+ThroughputResult run_graph_mix(G& g, int threads, double seconds,
+                               uint64_t capacity, int edge_w, int vertex_w) {
   const int total_w = edge_w + vertex_w;
   return run_throughput(
       threads, seconds,
@@ -66,8 +66,8 @@ void run_ratio(const Config& cfg, int edge_w, int vertex_w,
     BenchEnv env(cfg);
     ds::TransientGraph<uint64_t, uint64_t, ds::DramMem> g(capacity);
     preload_graph(g, capacity);
-    emit("fig11" + tag, "DRAM(T)", std::to_string(t),
-         run_graph_mix(g, t, cfg.seconds, capacity, edge_w, vertex_w));
+    emit_result("fig11" + tag, "DRAM(T)", std::to_string(t),
+                run_graph_mix(g, t, cfg.seconds, capacity, edge_w, vertex_w));
   }
   for (int t : cfg.thread_counts()) {
     BenchEnv env(cfg);
@@ -77,8 +77,8 @@ void run_ratio(const Config& cfg, int edge_w, int vertex_w,
     env.make_esys(opts);
     ds::MontageGraph<uint64_t, uint64_t> g(env.esys(), capacity);
     preload_graph(g, capacity);
-    emit("fig11" + tag, "Montage(T)", std::to_string(t),
-         run_graph_mix(g, t, cfg.seconds, capacity, edge_w, vertex_w));
+    emit_result("fig11" + tag, "Montage(T)", std::to_string(t),
+                run_graph_mix(g, t, cfg.seconds, capacity, edge_w, vertex_w));
   }
   for (int t : cfg.thread_counts()) {
     BenchEnv env(cfg);
@@ -86,8 +86,8 @@ void run_ratio(const Config& cfg, int edge_w, int vertex_w,
     env.make_esys(opts);
     ds::MontageGraph<uint64_t, uint64_t> g(env.esys(), capacity);
     preload_graph(g, capacity);
-    emit("fig11" + tag, "Montage", std::to_string(t),
-         run_graph_mix(g, t, cfg.seconds, capacity, edge_w, vertex_w));
+    emit_result("fig11" + tag, "Montage", std::to_string(t),
+                run_graph_mix(g, t, cfg.seconds, capacity, edge_w, vertex_w));
   }
 }
 

@@ -58,7 +58,7 @@ void run_config(const Config& cfg, const std::string& name, bool stall,
   const uint64_t e0 = es->current_epoch();
   const uint64_t t0 = util::now_ns();
   const int survivors = std::max(1, cfg.max_threads - 1);
-  const double mops = run_throughput(
+  const ThroughputResult tr = run_throughput(
       survivors, cfg.seconds, [&](int, util::Xorshift128Plus& rng, uint64_t) {
         Payload* p = es->pnew<Payload>(rng.next());
         es->begin_op();
@@ -74,7 +74,7 @@ void run_config(const Config& cfg, const std::string& name, bool stall,
   const bool ok = es->sync_for(kSyncDeadlineNs);
   const double sync_ms = static_cast<double>(util::now_ns() - s0) / 1e6;
 
-  emit("fig14", "throughput", name, mops);
+  emit_result("fig14", "throughput", name, tr);
   emit("fig14", "epoch_rate", name, epoch_rate);
   emit("fig14", "sync_ms", name, sync_ms);
   emit("fig14", "sync_ok", name, ok ? 1.0 : 0.0);

@@ -10,8 +10,8 @@ namespace {
 
 using Val = util::InlineStr<1024>;
 
-double run_config(const Config& cfg, const EpochSys::Options& opts,
-                  int threads) {
+ThroughputResult run_config(const Config& cfg, const EpochSys::Options& opts,
+                            int threads) {
   const Val value = make_value<1024>();
   const auto buckets =
       std::max<uint64_t>(1024, static_cast<uint64_t>(1'000'000 * cfg.scale));
@@ -31,8 +31,8 @@ void main_impl() {
   auto sweep = [&](const std::string& group, EpochSys::Options base) {
     for (uint64_t len : epoch_lengths_ns) {
       base.epoch_length_ns = len;
-      const double mops = run_config(cfg, base, threads);
-      emit("fig4", group, std::to_string(len / 1000) + "us", mops);
+      emit_result("fig4", group, std::to_string(len / 1000) + "us",
+                  run_config(cfg, base, threads));
     }
   };
 
@@ -59,8 +59,7 @@ void main_impl() {
     EpochSys::Options o;
     o.transient = true;
     o.start_advancer = false;
-    const double mops = run_config(cfg, o, threads);
-    emit("fig4", "Montage(T)", "-", mops);
+    emit_result("fig4", "Montage(T)", "-", run_config(cfg, o, threads));
   }
   {
     // Buf=64+DirFree: reference only — reclaims immediately (unsafe).

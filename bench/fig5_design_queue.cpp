@@ -7,7 +7,7 @@ namespace {
 
 using Val = util::InlineStr<1024>;
 
-double run_config(const Config& cfg, const EpochSys::Options& opts) {
+ThroughputResult run_config(const Config& cfg, const EpochSys::Options& opts) {
   const Val value = make_value<1024>();
   BenchEnv env(cfg);
   env.make_esys(opts);
@@ -23,8 +23,8 @@ void main_impl() {
   auto sweep = [&](const std::string& group, EpochSys::Options base) {
     for (uint64_t len : epoch_lengths_ns) {
       base.epoch_length_ns = len;
-      emit("fig5", group, std::to_string(len / 1000) + "us",
-           run_config(cfg, base));
+      emit_result("fig5", group, std::to_string(len / 1000) + "us",
+                  run_config(cfg, base));
     }
   };
 
@@ -48,7 +48,7 @@ void main_impl() {
     EpochSys::Options o;
     o.transient = true;
     o.start_advancer = false;
-    emit("fig5", "Montage(T)", "-", run_config(cfg, o));
+    emit_result("fig5", "Montage(T)", "-", run_config(cfg, o));
   }
   {
     EpochSys::Options o;

@@ -34,8 +34,8 @@ void run_series(const Config& cfg, const std::string& name,
       env.make_esys(transient_opts);
     }
     Adapter a(env);
-    const double mops = run_queue_mix(a, t, cfg.seconds, value);
-    emit("fig6", name, std::to_string(t), mops);
+    emit_result("fig6", name, std::to_string(t),
+                run_queue_mix(a, t, cfg.seconds, value));
   }
 }
 

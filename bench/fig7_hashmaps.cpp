@@ -55,10 +55,9 @@ void run_series(const Config& cfg, const std::string& name, const Mix& mix,
     env.make_esys(esys_opts != nullptr ? *esys_opts : transient_opts);
     Adapter a(env, buckets);
     preload_map(a, preload, keyrange, value);
-    const double mops =
-        run_map_mix(a, t, cfg.seconds, mix.wg, mix.wi, mix.wr, keyrange,
-                    value);
-    emit(std::string("fig7") + mix.tag, name, std::to_string(t), mops);
+    emit_result(std::string("fig7") + mix.tag, name, std::to_string(t),
+                run_map_mix(a, t, cfg.seconds, mix.wg, mix.wi, mix.wr,
+                            keyrange, value));
   }
 }
 

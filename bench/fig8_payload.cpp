@@ -21,7 +21,7 @@ void queue_point(const Config& cfg) {
     transient_opts.start_advancer = false;
     env.make_esys(opts != nullptr ? *opts : transient_opts);
     auto a = make_adapter(env);
-    emit("fig8a", name, x, run_queue_mix(*a, 1, cfg.seconds, value));
+    emit_result("fig8a", name, x, run_queue_mix(*a, 1, cfg.seconds, value));
   };
 
   EpochSys::Options montage_opts;
@@ -73,8 +73,8 @@ void map_point(const Config& cfg) {
     env.make_esys(opts != nullptr ? *opts : transient_opts);
     auto a = make_adapter(env);
     preload_map(*a, buckets / 2, buckets, value);
-    emit("fig8b", name, x,
-         run_map_mix(*a, 1, cfg.seconds, 2, 1, 1, buckets, value));
+    emit_result("fig8b", name, x,
+                run_map_mix(*a, 1, cfg.seconds, 2, 1, 1, buckets, value));
   };
 
   EpochSys::Options montage_opts;

@@ -11,6 +11,21 @@ namespace {
 
 using Val = util::InlineStr<1024>;
 
+/// This is the figure about sync() cost, so the Montage series also report
+/// the epoch-system sync-latency percentiles extracted from the telemetry
+/// histogram (no data in MONTAGE_TELEMETRY=OFF builds — the rows are simply
+/// absent there, like the per-op latency rows with sampling disabled).
+void emit_sync_percentiles(const std::string& name, const std::string& x) {
+  for (const auto& h : telemetry::histograms_snapshot()) {
+    if (std::string(h.name) != "epoch.sync_latency_ns" || h.count == 0) {
+      continue;
+    }
+    const telemetry::Percentiles p = telemetry::hist_percentiles(h);
+    emit("fig9", name + "/sync_p50_ns", x, static_cast<double>(p.p50));
+    emit("fig9", name + "/sync_p99_ns", x, static_cast<double>(p.p99));
+  }
+}
+
 template <typename Adapter>
 void run_series(const Config& cfg, const std::string& name,
                 const EpochSys::Options* esys_opts) {
@@ -26,9 +41,12 @@ void run_series(const Config& cfg, const std::string& name,
     env.make_esys(esys_opts != nullptr ? *esys_opts : transient_opts);
     Adapter a(env, buckets);
     preload_map(a, buckets / 2, buckets, value);
-    const double mops = run_map_mix(a, cfg.max_threads, cfg.seconds, 0, 1, 1,
-                                    buckets, value, /*sync_every=*/k);
-    emit("fig9", name, std::to_string(k), mops);
+    telemetry::reset_metrics();  // isolate this point's sync histogram
+    const ThroughputResult r = run_map_mix(a, cfg.max_threads, cfg.seconds, 0,
+                                           1, 1, buckets, value,
+                                           /*sync_every=*/k);
+    emit_result("fig9", name, std::to_string(k), r);
+    if (esys_opts != nullptr) emit_sync_percentiles(name, std::to_string(k));
   }
 }
 

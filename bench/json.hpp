@@ -1,0 +1,347 @@
+// Minimal JSON value type, parser, and writer for the bench tooling
+// (orchestrator, compare). Covers the full JSON grammar the BENCH files and
+// the telemetry stats dumps use; no external dependencies. Objects preserve
+// insertion order so written files diff cleanly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace montage::bench::json {
+
+/// One JSON value (null, bool, number, string, array, or object).
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  Value() = default;
+  /// A value of kind `t` with all payloads defaulted.
+  explicit Value(Type t) : type(t) {}
+  /// A number value.
+  static Value of(double n) {
+    Value v(Type::kNumber);
+    v.number = n;
+    return v;
+  }
+  /// A boolean value.
+  static Value of(bool b) {
+    Value v(Type::kBool);
+    v.boolean = b;
+    return v;
+  }
+  /// A string value.
+  static Value of(std::string s) {
+    Value v(Type::kString);
+    v.str = std::move(s);
+    return v;
+  }
+
+  /// True when this value is JSON null.
+  bool is_null() const { return type == Type::kNull; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Append (or overwrite) an object member, keeping insertion order.
+  void set(const std::string& key, Value v) {
+    if (type != Type::kObject) {
+      type = Type::kObject;
+      object.clear();
+    }
+    for (auto& [k, existing] : object) {
+      if (k == key) {
+        existing = std::move(v);
+        return;
+      }
+    }
+    object.emplace_back(key, std::move(v));
+  }
+
+  /// Serialize (compact; stable member order).
+  std::string dump() const {
+    std::string out;
+    dump_to(out);
+    return out;
+  }
+
+  /// Parse `text` as one JSON document; throws std::runtime_error with an
+  /// offset-annotated message on malformed input.
+  static Value parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out) const {
+    switch (type) {
+      case Type::kNull:
+        out += "null";
+        break;
+      case Type::kBool:
+        out += boolean ? "true" : "false";
+        break;
+      case Type::kNumber: {
+        char buf[64];
+        if (std::isfinite(number) &&
+            number == static_cast<double>(static_cast<int64_t>(number))) {
+          std::snprintf(buf, sizeof buf, "%lld",
+                        static_cast<long long>(number));
+        } else {
+          std::snprintf(buf, sizeof buf, "%.17g", number);
+        }
+        out += buf;
+        break;
+      }
+      case Type::kString:
+        dump_string(str, out);
+        break;
+      case Type::kArray: {
+        out += '[';
+        for (std::size_t i = 0; i < array.size(); ++i) {
+          if (i != 0) out += ',';
+          array[i].dump_to(out);
+        }
+        out += ']';
+        break;
+      }
+      case Type::kObject: {
+        out += '{';
+        for (std::size_t i = 0; i < object.size(); ++i) {
+          if (i != 0) out += ',';
+          dump_string(object[i].first, out);
+          out += ':';
+          object[i].second.dump_to(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+  }
+
+  static void dump_string(const std::string& s, std::string& out) {
+    out += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+};
+
+namespace detail {
+
+/// Recursive-descent parser over a borrowed string.
+class Parser {
+ public:
+  /// Parse from `text`; the string must outlive the parser.
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  /// Parse the single top-level value and require end-of-input after it.
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing data after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value::of(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value::of(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value::of(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v(Value::Type::kObject);
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v(Value::Type::kArray);
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // ASCII passes through; anything wider is replaced — the bench
+          // data model never emits non-ASCII.
+          out += cp < 0x80 ? static_cast<char>(cp) : '?';
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    try {
+      return Value::of(std::stod(s_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline Value Value::parse(const std::string& text) {
+  return detail::Parser(text).parse_document();
+}
+
+}  // namespace montage::bench::json

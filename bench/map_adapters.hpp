@@ -117,9 +117,9 @@ struct ProntoMapAdapter {
 /// The paper's map mix driver: get:insert:remove with the given weights,
 /// uniform keys in [1, keyrange].
 template <typename Adapter, typename V>
-double run_map_mix(Adapter& a, int threads, double seconds, int wg, int wi,
-                   int wr, uint64_t keyrange, const V& value,
-                   uint64_t sync_every = 0) {
+ThroughputResult run_map_mix(Adapter& a, int threads, double seconds, int wg,
+                             int wi, int wr, uint64_t keyrange, const V& value,
+                             uint64_t sync_every = 0) {
   const int total_w = wg + wi + wr;
   return run_throughput(
       threads, seconds,

@@ -74,8 +74,8 @@ struct ProntoQueueAdapter {
 /// The paper's queue workload: 1:1 enqueue:dequeue, preloaded with a few
 /// elements so dequeues rarely hit empty.
 template <typename Adapter, typename V>
-double run_queue_mix(Adapter& a, int threads, double seconds, const V& value,
-                     uint64_t preload = 1024) {
+ThroughputResult run_queue_mix(Adapter& a, int threads, double seconds,
+                               const V& value, uint64_t preload = 1024) {
   for (uint64_t i = 0; i < preload; ++i) a.enqueue(value);
   return run_throughput(threads, seconds,
                         [&](int, util::Xorshift128Plus& rng, uint64_t) {

@@ -26,4 +26,24 @@ OFF_DIR=build-telemetry-off
 cmake -B "$OFF_DIR" -S . -DMONTAGE_TELEMETRY=OFF
 cmake --build "$OFF_DIR" -j "$(nproc)"
 ctest --test-dir "$OFF_DIR" --output-on-failure -j "$(nproc)" \
-  -R "Telemetry|ShardedCounter|Region|EpochBasic" "$@"
+  -R "Telemetry|ShardedCounter|Region|EpochBasic|PerfCounters" "$@"
+
+# Smoke-perf leg (opt in with MONTAGE_SMOKE_PERF=1): a tiny un-sanitized
+# orchestrator run gated against the committed baseline. The threshold is
+# deliberately generous and only throughput series are gated
+# (--rates-only): at 20 ms per point this proves the pipeline and catches
+# order-of-magnitude cliffs, not 10% drifts — and tail percentiles from a
+# handful of samples are pure noise at this scale.
+if [[ "${MONTAGE_SMOKE_PERF:-0}" == "1" ]]; then
+  PERF_DIR=build-smoke-perf
+  cmake -B "$PERF_DIR" -S .
+  cmake --build "$PERF_DIR" -j "$(nproc)" --target orchestrator compare \
+    fig4_design_hashmap fig9_sync
+  MONTAGE_BENCH_SECONDS=${MONTAGE_BENCH_SECONDS:-0.02} \
+  MONTAGE_BENCH_THREADS=${MONTAGE_BENCH_THREADS:-2} \
+  MONTAGE_BENCH_SCALE=${MONTAGE_BENCH_SCALE:-0.002} \
+    "$PERF_DIR/bench/orchestrator" --figures=4,9 \
+    --out="$PERF_DIR/BENCH_smoke.json"
+  "$PERF_DIR/bench/compare" results/BENCH_baseline.json \
+    "$PERF_DIR/BENCH_smoke.json" --threshold=0.90 --rates-only
+fi

@@ -18,6 +18,7 @@ HEADERS=(
   src/montage/recoverable.hpp
   src/nvm/region.hpp
   src/util/telemetry.hpp
+  src/util/perfcounters.hpp
 )
 
 fail=0

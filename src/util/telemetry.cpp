@@ -1,6 +1,7 @@
 #include "util/telemetry.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -60,8 +61,9 @@ constexpr Meta kHistMeta[kNumHists] = {
     {"epoch.sync_latency_ns", "ns"},
     {"epoch.writeback_batch_blocks", "blocks"},
     {"epoch.reclaim_batch_blocks", "blocks"},
+    {"bench.op_latency_ns", "ns"},
 };
-static_assert(static_cast<uint32_t>(Hist::kReclaimBatch) == kNumHists - 1,
+static_assert(static_cast<uint32_t>(Hist::kBenchOpLatency) == kNumHists - 1,
               "histogram catalog out of sync with Hist enum");
 
 constexpr uint64_t kAnnexMagic = 0x3130454341525444ull;  // "DTRACE01" LE
@@ -132,6 +134,29 @@ uint64_t hist_bucket_upper(int i) {
   if (i <= 0) return 0;
   if (i >= kHistBuckets - 1) return UINT64_MAX;
   return (uint64_t{1} << i) - 1;
+}
+
+uint64_t hist_percentile(const HistogramValue& hv, double q) {
+  if (hv.count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 1-based rank of the requested observation; ceil so p50 of {a,b} is a
+  // (rank 1), never an interpolation the buckets cannot support.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(hv.count)));
+  if (rank < 1) rank = 1;
+  if (rank > hv.count) rank = hv.count;
+  uint64_t cum = 0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    cum += hv.buckets[b];
+    if (cum >= rank) return hist_bucket_upper(b);
+  }
+  return hist_bucket_upper(kHistBuckets - 1);
+}
+
+Percentiles hist_percentiles(const HistogramValue& hv) {
+  return Percentiles{hist_percentile(hv, 0.50), hist_percentile(hv, 0.90),
+                     hist_percentile(hv, 0.99), hist_percentile(hv, 0.999)};
 }
 
 #if MONTAGE_TELEMETRY_ENABLED
@@ -367,24 +392,6 @@ void reset_metrics() {
   }
 }
 
-namespace {
-
-/// Approximate quantile: the upper bound of the bucket where the cumulative
-/// count first reaches q * total.
-uint64_t hist_quantile(const HistogramValue& hv, double q) {
-  if (hv.count == 0) return 0;
-  const uint64_t target =
-      static_cast<uint64_t>(q * static_cast<double>(hv.count));
-  uint64_t cum = 0;
-  for (int b = 0; b < kHistBuckets; ++b) {
-    cum += hv.buckets[b];
-    if (cum > target) return hist_bucket_upper(b);
-  }
-  return hist_bucket_upper(kHistBuckets - 1);
-}
-
-}  // namespace
-
 void dump_text(std::FILE* out) {
   std::fprintf(out, "== montage telemetry ==\n");
   std::fprintf(out, "-- counters --\n");
@@ -397,11 +404,11 @@ void dump_text(std::FILE* out) {
     if (h.count == 0) continue;
     const double mean =
         static_cast<double>(h.sum) / static_cast<double>(h.count);
+    const Percentiles p = hist_percentiles(h);
     std::fprintf(out,
                  "  %-32s count=%" PRIu64 " mean=%.1f p50<=%" PRIu64
-                 " p99<=%" PRIu64 " %s\n",
-                 h.name, h.count, mean, hist_quantile(h, 0.50),
-                 hist_quantile(h, 0.99), h.unit);
+                 " p90<=%" PRIu64 " p99<=%" PRIu64 " p999<=%" PRIu64 " %s\n",
+                 h.name, h.count, mean, p.p50, p.p90, p.p99, p.p999, h.unit);
   }
   const auto gs = sample_gauges();
   if (!gs.empty()) {
@@ -419,7 +426,7 @@ void dump_text(std::FILE* out) {
 std::string stats_json() {
   std::string s;
   s.reserve(4096);
-  char buf[256];
+  char buf[384];
   s += "{\"telemetry\":1,\"counters\":{";
   bool first = true;
   for (const auto& c : counters_snapshot()) {
@@ -435,12 +442,14 @@ std::string stats_json() {
     const double mean =
         h.count == 0 ? 0.0
                      : static_cast<double>(h.sum) / static_cast<double>(h.count);
+    const Percentiles p = hist_percentiles(h);
     std::snprintf(buf, sizeof buf,
                   "%s\"%s\":{\"unit\":\"%s\",\"count\":%" PRIu64
                   ",\"sum\":%" PRIu64 ",\"mean\":%.3f,\"p50\":%" PRIu64
-                  ",\"p99\":%" PRIu64 ",\"buckets\":[",
+                  ",\"p90\":%" PRIu64 ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64
+                  ",\"buckets\":[",
                   first ? "" : ",", h.name, h.unit, h.count, h.sum, mean,
-                  hist_quantile(h, 0.50), hist_quantile(h, 0.99));
+                  p.p50, p.p90, p.p99, p.p999);
     s += buf;
     bool bfirst = true;
     for (int b = 0; b < kHistBuckets; ++b) {

@@ -141,6 +141,7 @@ enum class Hist : uint32_t {
   kSyncLatency,
   kDrainBatch,
   kReclaimBatch,
+  kBenchOpLatency,
   kCount,
 };
 
@@ -190,6 +191,26 @@ struct HistogramValue {
   uint64_t buckets[kHistBuckets];
 };
 
+/// The standard percentile summary extracted from a histogram's buckets.
+struct Percentiles {
+  uint64_t p50;
+  uint64_t p90;
+  uint64_t p99;
+  uint64_t p999;
+};
+
+/// Histogram bucket index for value `v`: its bit width (bucket 0 holds 0,
+/// bucket i >= 1 holds [2^(i-1), 2^i)), clamped to the top bucket. Available
+/// in both build flavours — bench-side recorders share the bucket scheme.
+inline int hist_bucket_of(uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++w;
+  }
+  return w < kHistBuckets ? w : kHistBuckets - 1;
+}
+
 #if MONTAGE_TELEMETRY_ENABLED
 
 namespace detail {
@@ -204,16 +225,6 @@ struct alignas(util::kCacheLineSize) ThreadSlots {
 
 extern ThreadSlots g_slots[util::ThreadIdPool::kMaxThreads];
 extern std::atomic<bool> g_trace_on;
-
-/// Histogram bucket for value `v`: its bit width, clamped to the top bucket.
-inline int bucket_of(uint64_t v) {
-  int w = 0;
-  while (v != 0) {
-    v >>= 1;
-    ++w;
-  }
-  return w < kHistBuckets ? w : kHistBuckets - 1;
-}
 
 /// Out-of-line ring append for trace() once the armed check passed.
 void trace_slow(Ev type, uint64_t a0, uint64_t a1);
@@ -233,7 +244,7 @@ inline void count(Ctr c, uint64_t n = 1) {
 inline void observe(Hist h, uint64_t v) {
   auto& slots = detail::g_slots[util::thread_id()];
   const uint32_t hi = static_cast<uint32_t>(h);
-  slots.hist[hi][detail::bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  slots.hist[hi][hist_bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
   slots.hist_sum[hi].fetch_add(v, std::memory_order_relaxed);
 }
 
@@ -355,5 +366,16 @@ std::string stats_json();
 
 /// Upper bound (inclusive) of histogram bucket `i` — for tests and dumps.
 uint64_t hist_bucket_upper(int i);
+
+/// Exact-from-buckets percentile query: the inclusive upper bound of the
+/// bucket holding the rank-ceil(q*count) observation (ranks are 1-based and
+/// clamped to [1, count]). This is exact with respect to the bucket
+/// resolution — the true value is <= the returned bound and > the previous
+/// bucket's bound. Returns 0 for an empty histogram. Available in both
+/// build flavours.
+uint64_t hist_percentile(const HistogramValue& hv, double q);
+
+/// p50/p90/p99/p999 of `hv` via hist_percentile (all 0 when empty).
+Percentiles hist_percentiles(const HistogramValue& hv);
 
 }  // namespace montage::telemetry

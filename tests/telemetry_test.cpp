@@ -95,6 +95,48 @@ TEST(Telemetry, HistogramBucketBoundaries) {
   EXPECT_EQ(telemetry::hist_bucket_upper(telemetry::kHistBuckets - 1), ~0ull);
 }
 
+TEST(Telemetry, PercentilesAreExactAtBucketBoundaries) {
+  // Works in both build flavours: hist_percentile is a pure function of the
+  // (hand-built) snapshot.
+  telemetry::HistogramValue hv{};
+  hv.buckets[0] = 1;  // one observation of 0
+  hv.buckets[1] = 1;  // one observation of 1
+  hv.buckets[2] = 2;  // two observations in [2, 3]
+  hv.count = 4;
+  // rank = ceil(q * count), clamped to [1, count]; the answer is the upper
+  // bound of the bucket where the cumulative count first reaches the rank.
+  EXPECT_EQ(telemetry::hist_percentile(hv, 0.0), 0u);   // rank 1 -> bucket 0
+  EXPECT_EQ(telemetry::hist_percentile(hv, 0.25), 0u);  // rank 1
+  EXPECT_EQ(telemetry::hist_percentile(hv, 0.5), 1u);   // rank 2 -> bucket 1
+  EXPECT_EQ(telemetry::hist_percentile(hv, 0.75), 3u);  // rank 3 -> bucket 2
+  EXPECT_EQ(telemetry::hist_percentile(hv, 0.99), 3u);  // rank 4
+  EXPECT_EQ(telemetry::hist_percentile(hv, 1.0), 3u);
+  // Out-of-range quantiles clamp rather than misbehave.
+  EXPECT_EQ(telemetry::hist_percentile(hv, -1.0), 0u);
+  EXPECT_EQ(telemetry::hist_percentile(hv, 2.0), 3u);
+  const telemetry::Percentiles p = telemetry::hist_percentiles(hv);
+  EXPECT_EQ(p.p50, 1u);
+  EXPECT_EQ(p.p90, 3u);
+  EXPECT_EQ(p.p99, 3u);
+  EXPECT_EQ(p.p999, 3u);
+}
+
+TEST(Telemetry, PercentilesOfEmptyHistogramAreZero) {
+  const telemetry::HistogramValue empty{};
+  EXPECT_EQ(telemetry::hist_percentile(empty, 0.5), 0u);
+  const telemetry::Percentiles p = telemetry::hist_percentiles(empty);
+  EXPECT_EQ(p.p50, 0u);
+  EXPECT_EQ(p.p999, 0u);
+}
+
+TEST(Telemetry, PercentileClampsToTopBucket) {
+  telemetry::HistogramValue hv{};
+  hv.buckets[telemetry::kHistBuckets - 1] = 1;  // one enormous observation
+  hv.count = 1;
+  EXPECT_EQ(telemetry::hist_percentile(hv, 0.5),
+            telemetry::hist_bucket_upper(telemetry::kHistBuckets - 1));
+}
+
 TEST(Telemetry, TraceRingKeepsNewestOnWrap) {
   if (!telemetry::kEnabled) GTEST_SKIP() << "telemetry compiled out";
   telemetry::trace_configure(64);  // the minimum (and already a power of two)
