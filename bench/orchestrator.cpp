@@ -45,8 +45,8 @@ struct BenchSpec {
   bool in_all;          // included in --figures=all
 };
 
-// The 13 figure benches (fig4–fig14 plus the §6.4 recovery table and the
-// gbench primitive microbench).
+// The figure benches (fig4–fig14, the networked-server fig15, the §6.4
+// recovery table, and the gbench primitive microbench).
 constexpr BenchSpec kBenches[] = {
     {"4", "fig4_design_hashmap", true, true},
     {"5", "fig5_design_queue", true, true},
@@ -59,6 +59,7 @@ constexpr BenchSpec kBenches[] = {
     {"12", "fig12_graph_recovery", true, true},
     {"13", "fig13_recovery_robustness", true, true},
     {"14", "fig14_liveness", true, true},
+    {"15", "fig15_server", true, true},
     {"sec64", "sec64_recovery", true, true},
     {"micro", "micro_primitives", false, false},
 };

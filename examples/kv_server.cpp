@@ -5,6 +5,11 @@
 // crash. The store is library-linked — the same configuration the paper
 // benchmarks under YCSB-A.
 //
+// This is the embedded demo. The real networked server over the same cache
+// — epoll event loop, memcached text protocol over TCP, durable ACKs,
+// graceful drain, kill -9 recovery — is `montage_kv_server`
+// (src/server/, DESIGN.md §11).
+//
 // Build & run: ./kv_server
 #include <cstdio>
 #include <memory>

@@ -4,6 +4,9 @@
 # address,undefined); each set gets its own build tree. Pass extra ctest
 # args through, e.g.:
 #   scripts/check.sh -L slow                   # only the slow label
+#   scripts/check.sh -L server_smoke           # the networked-server
+#                                              # envelope (also part of the
+#                                              # default and TSan suites)
 #   scripts/check.sh -R Ralloc                 # a single suite
 #   MONTAGE_SANITIZE=thread scripts/check.sh   # TSan (races in the
 #                                              # advancer/watchdog/adoption
@@ -22,11 +25,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 
 # Kill-switch leg: telemetry compiled out must still build everything and
 # pass its own tests (the instrumented call sites become empty inlines).
+# The server suites run here too: `stats` and the shed/stall accounting are
+# built on ShardedCounter, which must keep working with telemetry off.
 OFF_DIR=build-telemetry-off
 cmake -B "$OFF_DIR" -S . -DMONTAGE_TELEMETRY=OFF
 cmake --build "$OFF_DIR" -j "$(nproc)"
 ctest --test-dir "$OFF_DIR" --output-on-failure -j "$(nproc)" \
-  -R "Telemetry|ShardedCounter|Region|EpochBasic|PerfCounters" "$@"
+  -R "Telemetry|ShardedCounter|Region|EpochBasic|PerfCounters|ServerConfig|Protocol|ServerSmoke" \
+  "$@"
 
 # Smoke-perf leg (opt in with MONTAGE_SMOKE_PERF=1): a tiny un-sanitized
 # orchestrator run gated against the committed baseline. The threshold is
@@ -38,11 +44,11 @@ if [[ "${MONTAGE_SMOKE_PERF:-0}" == "1" ]]; then
   PERF_DIR=build-smoke-perf
   cmake -B "$PERF_DIR" -S .
   cmake --build "$PERF_DIR" -j "$(nproc)" --target orchestrator compare \
-    fig4_design_hashmap fig9_sync
+    fig4_design_hashmap fig9_sync fig15_server montage_kv_server
   MONTAGE_BENCH_SECONDS=${MONTAGE_BENCH_SECONDS:-0.02} \
   MONTAGE_BENCH_THREADS=${MONTAGE_BENCH_THREADS:-2} \
   MONTAGE_BENCH_SCALE=${MONTAGE_BENCH_SCALE:-0.002} \
-    "$PERF_DIR/bench/orchestrator" --figures=4,9 \
+    "$PERF_DIR/bench/orchestrator" --figures=4,9,15 \
     --out="$PERF_DIR/BENCH_smoke.json"
   "$PERF_DIR/bench/compare" results/BENCH_baseline.json \
     "$PERF_DIR/BENCH_smoke.json" --threshold=0.90 --rates-only

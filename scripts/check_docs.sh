@@ -19,6 +19,9 @@ HEADERS=(
   src/nvm/region.hpp
   src/util/telemetry.hpp
   src/util/perfcounters.hpp
+  src/server/config.hpp
+  src/server/protocol.hpp
+  src/server/kv_server.hpp
 )
 
 fail=0

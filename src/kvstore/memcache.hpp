@@ -73,7 +73,12 @@ class TransientMemCache {
     std::lock_guard lk(s.lock);
     auto it = s.index.find(key);
     if (it == s.index.end() || expired(*it->second, now)) {
-      if (it != s.index.end()) erase(s, it);
+      if (it != s.index.end()) {
+        // Lazy expiry frees the slot; it counts as an eviction so capacity
+        // accounting matches what actually left the cache.
+        erase(s, it);
+        s.evictions.fetch_add(1, std::memory_order_relaxed);
+      }
       s.misses.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
@@ -92,13 +97,20 @@ class TransientMemCache {
     return true;
   }
 
-  /// add: only if absent (memcached semantics).
-  bool add(const CacheKey& key, const CacheValue& val, uint32_t flags = 0) {
+  /// add: only if absent (memcached semantics). An item that has expired by
+  /// `now` counts as absent: it is lazily evicted and the add succeeds.
+  bool add(const CacheKey& key, const CacheValue& val, uint32_t flags = 0,
+           uint64_t exptime = 0, uint64_t now = 0) {
     Shard& s = shard_of(key);
     std::lock_guard lk(s.lock);
-    if (s.index.contains(key)) return false;
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      if (!expired(*it->second, now)) return false;
+      erase(s, it);
+      s.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
     evict_if_full(s);
-    s.lru.push_front(Item{key, val, flags, 0});
+    s.lru.push_front(Item{key, val, flags, exptime});
     s.index.emplace(key, s.lru.begin());
     return true;
   }
@@ -203,6 +215,11 @@ class MontageMemCache : public Recoverable {
       if (flags != item.payload->get_flags()) {
         item.payload = item.payload->set_flags(flags);
       }
+      if (exptime != item.payload->get_exptime()) {
+        // An overwrite installs the new item's lifetime — including
+        // exptime=0, which revives a key that was about to lapse.
+        item.payload = item.payload->set_exptime(exptime);
+      }
       s.lru.splice(s.lru.begin(), s.lru, it->second);
       return true;
     }
@@ -226,12 +243,14 @@ class MontageMemCache : public Recoverable {
     Item& item = *it->second;
     const uint64_t exp = item.payload->get_exptime();
     if (exp != 0 && now >= exp) {
-      // Lazy expiry: remove the item durably.
+      // Lazy expiry: remove the item durably. It leaves the cache for good,
+      // so it counts as an eviction as well as a miss.
       BEGIN_OP_AUTOEND();
       esys_->pdelete(item.payload);
       s.lru.erase(it->second);
       s.index.erase(it);
       s.misses.fetch_add(1, std::memory_order_relaxed);
+      s.evictions.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
     s.hits.fetch_add(1, std::memory_order_relaxed);
@@ -252,13 +271,24 @@ class MontageMemCache : public Recoverable {
     return true;
   }
 
-  bool add(const CacheKey& key, const CacheValue& val, uint32_t flags = 0) {
+  /// add: only if absent. As in memcached, an item that has expired by `now`
+  /// counts as absent — it is lazily evicted and the add succeeds.
+  bool add(const CacheKey& key, const CacheValue& val, uint32_t flags = 0,
+           uint64_t exptime = 0, uint64_t now = 0) {
     Shard& s = shard_of(key);
     std::lock_guard lk(s.lock);
-    if (s.index.contains(key)) return false;
     BEGIN_OP_AUTOEND();
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      const uint64_t exp = it->second->payload->get_exptime();
+      if (exp == 0 || now < exp) return false;
+      esys_->pdelete(it->second->payload);
+      s.lru.erase(it->second);
+      s.index.erase(it);
+      s.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
     evict_if_full(s);
-    ItemPayload* p = esys_->pnew<ItemPayload>(key, val, flags, 0);
+    ItemPayload* p = esys_->pnew<ItemPayload>(key, val, flags, exptime);
     p->set_blk_tag(kPayloadTag);
     s.lru.push_front(Item{key, p});
     s.index.emplace(key, s.lru.begin());

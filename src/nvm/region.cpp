@@ -72,6 +72,8 @@ Region::Region(const RegionOptions& opts) : opts_(opts) {
   if (fresh || header_magic->load(std::memory_order_relaxed) != kMagic) {
     std::memset(base_, 0, kHeaderSize);
     header_magic->store(kMagic, std::memory_order_relaxed);
+  } else {
+    reopened_ = true;
   }
 
   pending_ = std::make_unique<PendingLines[]>(kMaxThreads);

@@ -137,6 +137,12 @@ class Region {
   }
   /// The persistence-emulation mode this region was created with.
   PersistMode mode() const { return opts_.mode; }
+  /// True when the constructor reopened an existing, validly formatted
+  /// backing file (size and magic checked) instead of formatting a fresh
+  /// header. A reopened region carries recoverable state — callers (e.g. the
+  /// networked server after SIGKILL) should run allocator and epoch-clock
+  /// recovery rather than a fresh format.
+  bool reopened() const { return reopened_; }
 
   /// 64-bit root slots in the header. Callers persist them explicitly.
   std::atomic<uint64_t>& root(int i);
@@ -242,6 +248,7 @@ class Region {
   RegionOptions opts_;
   char* base_ = nullptr;
   int fd_ = -1;
+  bool reopened_ = false;  // existing valid backing file found at open
   std::unique_ptr<char[]> shadow_;  // kTracked persistent image
   std::mutex commit_m_;  // kTracked: serializes shadow commits (fence/evict)
   std::unique_ptr<PendingLines[]> pending_;

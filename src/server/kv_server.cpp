@@ -1,0 +1,693 @@
+#include "server/kv_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "nvm/region.hpp"
+#include "server/protocol.hpp"
+#include "util/timing.hpp"
+
+namespace montage::server {
+
+namespace {
+
+constexpr int kEpollBatch = 128;
+constexpr int kTickMs = 10;            // epoll_wait timeout: housekeeping tick
+constexpr uint64_t kScanPeriodNs = 100'000'000;  // timeout scan every 100 ms
+constexpr int kMutationRetries = 8;    // epoch-conflict retry budget per op
+
+uint64_t wall_seconds() { return static_cast<uint64_t>(::time(nullptr)); }
+
+void set_nonblock_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+/// One response waiting behind the persistence frontier.
+struct PendingResp {
+  std::string bytes;
+  uint64_t epoch;   // 0 = releasable immediately (reads, errors)
+  uint64_t enq_ns;  // for the ack-lag histogram
+};
+
+struct KvServer::Conn {
+  int fd = -1;
+  std::string in;                   // unparsed request bytes
+  std::deque<PendingResp> pending;  // FIFO: responses awaiting release
+  std::size_t pending_bytes = 0;
+  std::string out;  // released bytes being written
+  std::size_t out_off = 0;
+  uint64_t last_read_ns = 0;
+  uint64_t last_progress_ns = 0;  // last write progress while output pending
+  uint32_t armed = 0;             // epoll events currently registered
+  bool paused = false;            // backpressure: EPOLLIN disarmed
+  bool close_after_flush = false;
+  bool dead = false;
+};
+
+struct KvServer::Worker {
+  int epfd = -1;
+  int wake = -1;  // eventfd: new connections, syncer release, drain, stop
+  std::thread th;
+  std::mutex inbox_m;
+  std::vector<int> inbox;  // fds handed over by the acceptor
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  std::atomic<uint64_t> inflight{0};  // pending responses across this worker
+  std::atomic<bool> done{false};
+  bool drain_entered = false;
+  uint64_t last_scan_ns = 0;
+
+  void ring() {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(wake, &one, sizeof(one));
+  }
+};
+
+KvServer::KvServer(const ServerConfig& cfg, kvstore::MontageMemCache* cache,
+                   EpochSys* esys)
+    : cfg_(cfg), cache_(cache), esys_(esys) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("kv_server: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("kv_server: cannot bind port " +
+                             std::to_string(cfg_.port));
+  }
+  const int backlog = static_cast<int>(
+      cfg_.max_conns < 128 ? cfg_.max_conns : 128);
+  if (::listen(listen_fd_, backlog) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("kv_server: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+  drain_efd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (drain_efd_ < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("kv_server: eventfd() failed");
+  }
+  for (uint32_t i = 0; i < cfg_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    w->wake = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epfd < 0 || w->wake < 0) {
+      throw std::runtime_error("kv_server: worker epoll/eventfd failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr tags the wake eventfd
+    ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->wake, &ev);
+    workers_.push_back(std::move(w));
+  }
+}
+
+KvServer::~KvServer() {
+  for (auto& w : workers_) {
+    for (auto& [fd, c] : w->conns) ::close(fd);
+    if (w->epfd >= 0) ::close(w->epfd);
+    if (w->wake >= 0) ::close(w->wake);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (drain_efd_ >= 0) ::close(drain_efd_);
+}
+
+void KvServer::request_drain() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t r = ::write(drain_efd_, &one, sizeof(one));
+}
+
+void KvServer::run() {
+  for (auto& w : workers_) {
+    w->th = std::thread([this, wp = w.get()] { worker_loop(*wp); });
+  }
+  syncer_ = std::thread([this] { syncer_loop(); });
+
+  acceptor_loop();  // returns once a drain was requested
+
+  // ---- graceful drain ----
+  const uint64_t t0 = util::now_ns();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  draining_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w->ring();
+  sync_cv_.notify_all();
+
+  const uint64_t deadline = t0 + cfg_.drain_deadline_ms * 1'000'000ull;
+  bool all_done = false;
+  while (!all_done && util::now_ns() < deadline) {
+    all_done = true;
+    for (auto& w : workers_) {
+      if (!w->done.load(std::memory_order_acquire)) all_done = false;
+    }
+    if (!all_done) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  if (!all_done) {
+    // Deadline expired: force-close whatever is still in flight. Unreleased
+    // ACKs are simply never sent — exactly the promise the protocol makes.
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : workers_) w->ring();
+  }
+  for (auto& w : workers_) w->th.join();
+  syncer_stop_.store(true, std::memory_order_release);
+  sync_cv_.notify_all();
+  syncer_.join();
+
+  const uint64_t dt = util::now_ns() - t0;
+  drain_latency_ns_.store(dt, std::memory_order_relaxed);
+  telemetry::observe(telemetry::Hist::kSrvDrainLatency, dt);
+}
+
+// ---- acceptor ---------------------------------------------------------------
+
+void KvServer::acceptor_loop() {
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u32 = 0;  // listen socket
+  ::epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u32 = 1;  // drain eventfd
+  ::epoll_ctl(ep, EPOLL_CTL_ADD, drain_efd_, &ev);
+  bool drain = false;
+  while (!drain) {
+    epoll_event evs[8];
+    const int n = ::epoll_wait(ep, evs, 8, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (evs[i].data.u32 == 1) {
+        drain = true;
+      } else {
+        accept_ready();
+      }
+    }
+  }
+  ::close(ep);
+}
+
+void KvServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (conn_count_.load(std::memory_order_relaxed) >= cfg_.max_conns) {
+      // Listen-queue cap: shed at the door, visibly, instead of queueing.
+      static constexpr char kBusy[] = "SERVER_ERROR busy\r\n";
+      [[maybe_unused]] ssize_t r =
+          ::send(fd, kBusy, sizeof(kBusy) - 1, MSG_NOSIGNAL | MSG_DONTWAIT);
+      ::close(fd);
+      stats_.conns_shed.add();
+      telemetry::count(telemetry::Ctr::kSrvConnsShed);
+      continue;
+    }
+    set_nonblock_nodelay(fd);
+    conn_count_.fetch_add(1, std::memory_order_relaxed);
+    stats_.conns_accepted.add();
+    telemetry::count(telemetry::Ctr::kSrvConnsAccepted);
+    Worker& w = *workers_[next_worker_++ % workers_.size()];
+    {
+      std::lock_guard lk(w.inbox_m);
+      w.inbox.push_back(fd);
+    }
+    w.ring();
+  }
+}
+
+// ---- syncer -----------------------------------------------------------------
+
+void KvServer::syncer_loop() {
+  while (!syncer_stop_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock lk(sync_m_);
+      sync_cv_.wait_for(lk, std::chrono::microseconds(cfg_.sync_interval_us));
+    }
+    if (syncer_stop_.load(std::memory_order_acquire)) break;
+    const bool draining = draining_.load(std::memory_order_acquire);
+    const uint64_t target = ack_target_.load(std::memory_order_acquire);
+    if (!draining && target <= esys_->persisted_frontier()) continue;
+    try {
+      esys_->sync();
+    } catch (const nvm::CrashPointException&) {
+      crash_die();
+    } catch (const PersistError& e) {
+      // Transient device errors did not clear within the retry budget; the
+      // payloads stay queued and the next batch retries them. ACKs simply
+      // wait longer — durability is never claimed early.
+      std::fprintf(stderr, "kv_server: sync failed (%s), will retry\n",
+                   e.what());
+      continue;
+    }
+    stats_.sync_batches.add();
+    telemetry::count(telemetry::Ctr::kSrvSyncBatches);
+    for (auto& w : workers_) w->ring();  // frontier moved: release ACKs
+  }
+}
+
+// ---- worker -----------------------------------------------------------------
+
+void KvServer::adopt_new_conns(Worker& w) {
+  std::vector<int> fds;
+  {
+    std::lock_guard lk(w.inbox_m);
+    fds.swap(w.inbox);
+  }
+  for (int fd : fds) {
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    c->last_read_ns = util::now_ns();
+    c->last_progress_ns = c->last_read_ns;
+    c->armed = EPOLLIN;
+    if (w.drain_entered) {
+      // Accepted just before the listener closed, adopted after this worker
+      // already swept its connections for drain: close it on the same terms.
+      c->close_after_flush = true;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = c.get();
+    if (::epoll_ctl(w.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      conn_count_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    w.conns.emplace(fd, std::move(c));
+  }
+}
+
+void KvServer::worker_loop(Worker& w) {
+  epoll_event evs[kEpollBatch];
+  try {
+    while (true) {
+      const int n = ::epoll_wait(w.epfd, evs, kEpollBatch, kTickMs);
+      if (n < 0 && errno != EINTR) break;
+      adopt_new_conns(w);
+      for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+        if (evs[i].data.ptr == nullptr) {
+          uint64_t v;
+          [[maybe_unused]] ssize_t r = ::read(w.wake, &v, sizeof(v));
+          continue;
+        }
+        auto* c = static_cast<Conn*>(evs[i].data.ptr);
+        if (c->dead) continue;
+        if ((evs[i].events & EPOLLIN) != 0) handle_readable(w, *c);
+        if ((evs[i].events & EPOLLOUT) != 0 && !c->dead) {
+          flush_writes(*c);
+          update_interest(*c, w.epfd);
+        }
+        if ((evs[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+            (evs[i].events & EPOLLIN) == 0) {
+          c->dead = true;
+        }
+      }
+
+      const bool draining = draining_.load(std::memory_order_acquire);
+      if (draining && !w.drain_entered) {
+        w.drain_entered = true;
+        // Stop reading; answer what was already buffered, then flush out.
+        for (auto& [fd, c] : w.conns) {
+          if (c->dead) continue;
+          handle_readable(w, *c);  // parses the remaining buffered input
+          c->close_after_flush = true;
+          c->paused = true;
+          update_interest(*c, w.epfd);
+        }
+      }
+
+      // The frontier may have moved (syncer ring): try releasing everywhere.
+      for (auto& [fd, c] : w.conns) {
+        if (!c->dead && (!c->pending.empty() || c->out_off < c->out.size() ||
+                         c->close_after_flush)) {
+          release_and_flush(w, *c);
+        }
+      }
+
+      const uint64_t now = util::now_ns();
+      if (now - w.last_scan_ns > kScanPeriodNs) {
+        w.last_scan_ns = now;
+        scan_timeouts(w, now);
+      }
+
+      if (stop_.load(std::memory_order_acquire)) {
+        for (auto& [fd, c] : w.conns) c->dead = true;
+      }
+      for (auto it = w.conns.begin(); it != w.conns.end();) {
+        if (it->second->dead) {
+          close_conn(w, *it->second);
+          it = w.conns.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (draining && w.conns.empty()) break;
+    }
+  } catch (const nvm::CrashPointException&) {
+    crash_die();
+  }
+  w.done.store(true, std::memory_order_release);
+}
+
+void KvServer::handle_readable(Worker& w, Conn& c) {
+  char tmp[16384];
+  while (!c.paused && !c.close_after_flush) {
+    const ssize_t n = ::recv(c.fd, tmp, sizeof(tmp), 0);
+    if (n > 0) {
+      c.in.append(tmp, static_cast<std::size_t>(n));
+      c.last_read_ns = util::now_ns();
+      if (c.in.size() > kMaxLineBytes + kMaxValueBytes + 2) break;
+    } else if (n == 0) {
+      // Peer half-closed: answer what we have, then close.
+      c.close_after_flush = true;
+      break;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      c.dead = true;
+      return;
+    }
+  }
+  std::size_t off = 0;
+  while (off < c.in.size()) {
+    const ParseResult r =
+        parse_request(std::string_view(c.in).substr(off));
+    if (r.status == ParseStatus::kNeedMore) break;
+    off += r.consumed;
+    stats_.requests.add();
+    telemetry::count(telemetry::Ctr::kSrvRequests);
+    if (r.status == ParseStatus::kBadLine) {
+      enqueue(w, c, r.error, 0, /*noreply=*/false);
+      if (r.fatal) {
+        c.close_after_flush = true;
+        break;
+      }
+      continue;
+    }
+    try {
+      handle_request(w, c, r.req);
+    } catch (const nvm::CrashPointException&) {
+      throw;  // armed crash schedule: handled at the worker-loop level
+    } catch (const std::exception&) {
+      // Allocation failure / exhausted retry budget: this request failed,
+      // the server survives.
+      enqueue(w, c, "SERVER_ERROR internal\r\n", 0, /*noreply=*/false);
+    }
+    if (c.close_after_flush) break;  // quit: ignore pipelined leftovers
+  }
+  c.in.erase(0, off);
+  release_and_flush(w, c);
+}
+
+void KvServer::handle_request(Worker& w, Conn& c, const Request& req) {
+  const uint64_t now = wall_seconds();
+  if (cfg_.max_inflight != 0 && req.verb != Verb::kQuit &&
+      w.inflight.load(std::memory_order_relaxed) >= cfg_.max_inflight) {
+    stats_.requests_shed.add();
+    telemetry::count(telemetry::Ctr::kSrvRequestsShed);
+    enqueue(w, c, "SERVER_ERROR overloaded\r\n", 0, req.noreply);
+    return;
+  }
+  // Epoch-conflict exceptions (the clock advanced mid-operation, or a stalled
+  // op of ours was adopted) mean "the operation did not happen": retry it.
+  auto with_retries = [&](auto&& fn) {
+    for (int i = 0; i < kMutationRetries; ++i) {
+      try {
+        return fn();
+      } catch (const EpochVerifyException&) {
+      } catch (const OldSeeNewException&) {
+      }
+    }
+    throw std::runtime_error("kv_server: mutation retry budget exhausted");
+  };
+  switch (req.verb) {
+    case Verb::kGet: {
+      std::string resp;
+      for (const auto& k : req.keys) {
+        uint32_t flags = 0;
+        const auto v = cache_->get(kvstore::CacheKey(k), &flags, now);
+        if (!v.has_value()) continue;
+        resp += "VALUE " + k + " " + std::to_string(flags) + " " +
+                std::to_string(v->size()) + "\r\n";
+        resp.append(v->c_str(), v->size());
+        resp += "\r\n";
+      }
+      resp += "END\r\n";
+      enqueue(w, c, std::move(resp), 0, /*noreply=*/false);
+      break;
+    }
+    case Verb::kSet:
+    case Verb::kAdd: {
+      const kvstore::CacheKey key(req.keys[0]);
+      const kvstore::CacheValue val(req.data);
+      const uint64_t exp = normalize_exptime(req.exptime, now);
+      bool stored;
+      if (req.verb == Verb::kSet) {
+        stored = with_retries(
+            [&] { return cache_->set(key, val, req.flags, exp); });
+      } else {
+        stored = with_retries(
+            [&] { return cache_->add(key, val, req.flags, exp, now); });
+      }
+      // Conservative durability bound: the operation ran in some epoch <= the
+      // clock value read after it returned, so once the persistence frontier
+      // reaches this value the mutation is crash-proof and the ACK may go out.
+      const uint64_t e = esys_->current_epoch();
+      uint64_t cur = ack_target_.load(std::memory_order_relaxed);
+      while (stored && e > cur &&
+             !ack_target_.compare_exchange_weak(cur, e,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed)) {
+      }
+      enqueue(w, c, stored ? "STORED\r\n" : "NOT_STORED\r\n", stored ? e : 0,
+              req.noreply);
+      break;
+    }
+    case Verb::kDelete: {
+      const bool deleted =
+          with_retries([&] { return cache_->del(kvstore::CacheKey(req.keys[0])); });
+      const uint64_t e = esys_->current_epoch();
+      if (deleted) {
+        uint64_t cur = ack_target_.load(std::memory_order_relaxed);
+        while (e > cur && !ack_target_.compare_exchange_weak(
+                              cur, e, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+        }
+      }
+      enqueue(w, c, deleted ? "DELETED\r\n" : "NOT_FOUND\r\n", deleted ? e : 0,
+              req.noreply);
+      break;
+    }
+    case Verb::kIncr:
+    case Verb::kDecr: {
+      const int64_t delta = req.verb == Verb::kIncr
+                                ? static_cast<int64_t>(req.delta)
+                                : -static_cast<int64_t>(req.delta);
+      const auto v = with_retries(
+          [&] { return cache_->incr(kvstore::CacheKey(req.keys[0]), delta); });
+      const uint64_t e = esys_->current_epoch();
+      if (v.has_value()) {
+        uint64_t cur = ack_target_.load(std::memory_order_relaxed);
+        while (e > cur && !ack_target_.compare_exchange_weak(
+                              cur, e, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+        }
+        enqueue(w, c, std::to_string(*v) + "\r\n", e, req.noreply);
+      } else {
+        enqueue(w, c, "NOT_FOUND\r\n", 0, req.noreply);
+      }
+      break;
+    }
+    case Verb::kStats:
+      enqueue(w, c, stats_payload(), 0, /*noreply=*/false);
+      break;
+    case Verb::kVersion:
+      enqueue(w, c, "VERSION montage-1\r\n", 0, /*noreply=*/false);
+      break;
+    case Verb::kQuit:
+      c.close_after_flush = true;
+      break;
+  }
+}
+
+void KvServer::enqueue(Worker& w, Conn& c, std::string bytes, uint64_t epoch,
+                       bool noreply) {
+  if (noreply || bytes.empty()) return;
+  c.pending_bytes += bytes.size();
+  c.pending.push_back(PendingResp{std::move(bytes), epoch, util::now_ns()});
+  w.inflight.fetch_add(1, std::memory_order_relaxed);
+}
+
+void KvServer::release_and_flush(Worker& w, Conn& c) {
+  const uint64_t frontier = esys_->persisted_frontier();
+  while (!c.pending.empty()) {
+    PendingResp& p = c.pending.front();
+    if (p.epoch != 0 && p.epoch > frontier) break;
+    if (p.epoch != 0) {
+      telemetry::observe(telemetry::Hist::kSrvAckLag,
+                         util::now_ns() - p.enq_ns);
+    }
+    if (c.out.empty()) c.last_progress_ns = util::now_ns();
+    c.pending_bytes -= p.bytes.size();
+    c.out += p.bytes;
+    c.pending.pop_front();
+    w.inflight.fetch_sub(1, std::memory_order_relaxed);
+  }
+  flush_writes(c);
+  // Backpressure: when this peer has more buffered than it is draining,
+  // stop reading from it until the backlog halves.
+  const std::size_t buffered = (c.out.size() - c.out_off) + c.pending_bytes;
+  if (!c.paused && buffered > cfg_.write_buf_max) {
+    c.paused = true;
+    stats_.backpressure.add();
+    telemetry::count(telemetry::Ctr::kSrvBackpressure);
+  } else if (c.paused && buffered < cfg_.write_buf_max / 2 &&
+             !draining_.load(std::memory_order_relaxed)) {
+    c.paused = false;
+  }
+  update_interest(c, w.epfd);
+  if (c.close_after_flush && c.pending.empty() && c.out_off >= c.out.size()) {
+    c.dead = true;
+  }
+}
+
+void KvServer::flush_writes(Conn& c) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      c.last_progress_ns = util::now_ns();
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      c.dead = true;
+      return;
+    }
+  }
+  if (c.out_off >= c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+  } else if (c.out_off > (1u << 16) && c.out_off > c.out.size() / 2) {
+    c.out.erase(0, c.out_off);
+    c.out_off = 0;
+  }
+}
+
+void KvServer::update_interest(Conn& c, int epfd) {
+  if (c.dead) return;
+  uint32_t want = 0;
+  if (!c.paused && !c.close_after_flush) want |= EPOLLIN;
+  if (c.out_off < c.out.size()) want |= EPOLLOUT;
+  if (want == c.armed) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.ptr = &c;
+  if (::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev) == 0) c.armed = want;
+}
+
+void KvServer::scan_timeouts(Worker& w, uint64_t now_ns) {
+  const uint64_t idle_ns = cfg_.idle_timeout_ms * 1'000'000ull;
+  const uint64_t stall_ns = cfg_.stall_timeout_ms * 1'000'000ull;
+  for (auto& [fd, c] : w.conns) {
+    if (c->dead) continue;
+    const bool output_pending =
+        c->out_off < c->out.size() || !c->pending.empty();
+    if (stall_ns != 0 && c->out_off < c->out.size() &&
+        now_ns - c->last_progress_ns > stall_ns) {
+      // The peer stopped draining its responses: a slow-reader attack or a
+      // dead client. Cut it loose rather than hold buffers hostage.
+      c->dead = true;
+      stats_.stall_closed.add();
+      telemetry::count(telemetry::Ctr::kSrvStallClosed);
+      continue;
+    }
+    if (idle_ns != 0 && !output_pending && !c->close_after_flush &&
+        now_ns - c->last_read_ns > idle_ns) {
+      c->dead = true;
+      stats_.idle_closed.add();
+      telemetry::count(telemetry::Ctr::kSrvIdleClosed);
+    }
+  }
+}
+
+void KvServer::close_conn(Worker& w, Conn& c) {
+  ::epoll_ctl(w.epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  c.fd = -1;
+  w.inflight.fetch_sub(c.pending.size(), std::memory_order_relaxed);
+  c.pending.clear();
+  conn_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::string KvServer::stats_payload() {
+  const auto cs = cache_->stats();
+  std::string out;
+  auto stat = [&out](const char* k, uint64_t v) {
+    out += "STAT ";
+    out += k;
+    out += ' ';
+    out += std::to_string(v);
+    out += "\r\n";
+  };
+  stat("curr_connections", conn_count_.load(std::memory_order_relaxed));
+  stat("total_connections", stats_.conns_accepted.read());
+  stat("connections_shed", stats_.conns_shed.read());
+  stat("cmd_requests", stats_.requests.read());
+  stat("requests_shed", stats_.requests_shed.read());
+  stat("idle_closed", stats_.idle_closed.read());
+  stat("stall_closed", stats_.stall_closed.read());
+  stat("backpressure_pauses", stats_.backpressure.read());
+  stat("sync_batches", stats_.sync_batches.read());
+  stat("get_hits", cs.hits);
+  stat("get_misses", cs.misses);
+  stat("evictions", cs.evictions);
+  stat("curr_items", cache_->size());
+  stat("epoch_current", esys_->current_epoch());
+  stat("epoch_persisted", esys_->persisted_frontier());
+  out += "END\r\n";
+  return out;
+}
+
+void KvServer::crash_die() {
+  // An armed crash schedule fired mid-persistence: power failed. Commit the
+  // persisted-only image to the backing file and die without unwinding the
+  // rest of the process, as a real power failure would.
+  esys_->abort_op();
+  nvm::Region::global()->simulate_crash();
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace montage::server

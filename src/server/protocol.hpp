@@ -1,0 +1,246 @@
+// Incremental memcached text-protocol parser (DESIGN.md §11).
+//
+// Speaks the classic text protocol subset the embedded cache supports:
+// get (multi-key), set/add (command line + data block), delete, incr/decr,
+// stats, version, quit, with `noreply` on mutations. The parser is pull
+// based and allocation light: feed it the connection's receive buffer and
+// it either returns one complete request (plus how many bytes it consumed),
+// asks for more bytes, or returns the protocol error line to send back.
+// Pipelining falls out naturally — the caller loops until kNeedMore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kvstore/memcache.hpp"
+
+namespace montage::server {
+
+/// Longest accepted command line (memcached's historic limit); a line that
+/// exceeds it cannot be resynchronized and poisons the connection.
+inline constexpr std::size_t kMaxLineBytes = 8192;
+/// Largest accepted key, bound by the cache's inline key capacity.
+inline constexpr std::size_t kMaxKeyBytes = kvstore::CacheKey::capacity();
+/// Largest accepted value, bound by the cache's inline value capacity.
+inline constexpr std::size_t kMaxValueBytes = kvstore::CacheValue::capacity();
+/// memcached rule: exptime values up to 30 days are relative seconds,
+/// larger values are absolute unix timestamps.
+inline constexpr uint64_t kRelativeExptimeMax = 60ull * 60 * 24 * 30;
+
+/// Request verbs understood by the server.
+enum class Verb : uint8_t {
+  kGet,      ///< `get <key>+` — VALUE/END
+  kSet,      ///< `set <key> <flags> <exptime> <bytes> [noreply]` + data
+  kAdd,      ///< `add ...` — like set, but only if absent
+  kDelete,   ///< `delete <key> [noreply]`
+  kIncr,     ///< `incr <key> <delta> [noreply]`
+  kDecr,     ///< `decr <key> <delta> [noreply]`
+  kStats,    ///< `stats` — STAT lines + END
+  kVersion,  ///< `version`
+  kQuit,     ///< `quit` — close after flushing
+};
+
+/// One parsed request. `keys` holds one entry except for multi-key get.
+struct Request {
+  Verb verb = Verb::kGet;
+  std::vector<std::string> keys;
+  uint32_t flags = 0;    ///< set/add: opaque client flags
+  uint64_t exptime = 0;  ///< set/add: raw exptime token (see normalize_exptime)
+  uint64_t delta = 0;    ///< incr/decr step
+  bool noreply = false;  ///< mutation acks suppressed
+  std::string data;      ///< set/add value bytes
+};
+
+/// Outcome of a parse attempt over the buffered input.
+enum class ParseStatus : uint8_t {
+  kNeedMore,  ///< incomplete request; read more bytes, consume nothing
+  kOk,        ///< `req` is valid; drop `consumed` bytes
+  kBadLine,   ///< protocol error; send `error`, drop `consumed` bytes
+};
+
+/// Result of parse_request: status plus either a request or an error reply.
+struct ParseResult {
+  ParseStatus status = ParseStatus::kNeedMore;
+  std::size_t consumed = 0;  ///< bytes of input this request (or error) used
+  Request req;               ///< valid when status == kOk
+  std::string error;  ///< full reply line to send when status == kBadLine
+  bool fatal = false;  ///< kBadLine only: connection cannot resync; close it
+};
+
+/// Apply memcached exptime semantics: 0 = never expires, values up to 30
+/// days are relative to `now` (unix seconds), larger values are absolute.
+inline uint64_t normalize_exptime(uint64_t exptime, uint64_t now) {
+  if (exptime == 0) return 0;
+  return exptime <= kRelativeExptimeMax ? now + exptime : exptime;
+}
+
+namespace detail {
+
+/// Split a command line on single spaces into at most 8 tokens.
+inline std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size() && out.size() < 8) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+/// Strict non-negative decimal parse; false on empty/garbage/overflow.
+inline bool parse_u64(std::string_view tok, uint64_t* out) {
+  if (tok.empty() || tok.size() > 20) return false;
+  uint64_t v = 0;
+  for (char ch : tok) {
+    if (ch < '0' || ch > '9') return false;
+    const uint64_t d = static_cast<uint64_t>(ch - '0');
+    if (v > (~0ull - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  *out = v;
+  return true;
+}
+
+/// A kBadLine result consuming `consumed` bytes with `error` as the reply.
+inline ParseResult bad(std::size_t consumed, std::string error,
+                       bool fatal = false) {
+  ParseResult r;
+  r.status = ParseStatus::kBadLine;
+  r.consumed = consumed;
+  r.error = std::move(error);
+  r.fatal = fatal;
+  return r;
+}
+
+}  // namespace detail
+
+/// Parse one request from the front of `buf`. Never consumes a partial
+/// request: on kNeedMore the caller appends more bytes and retries with the
+/// same prefix intact.
+inline ParseResult parse_request(std::string_view buf) {
+  ParseResult r;
+  const std::size_t eol = buf.find("\r\n");
+  if (eol == std::string_view::npos) {
+    if (buf.size() > kMaxLineBytes) {
+      // No line ending within the limit: we cannot find the next request
+      // boundary, so the connection is poisoned.
+      return detail::bad(buf.size(), "CLIENT_ERROR line too long\r\n",
+                         /*fatal=*/true);
+    }
+    return r;  // kNeedMore
+  }
+  const std::string_view line = buf.substr(0, eol);
+  const std::size_t line_consumed = eol + 2;
+  if (line.size() > kMaxLineBytes) {
+    return detail::bad(line_consumed, "CLIENT_ERROR line too long\r\n",
+                       /*fatal=*/true);
+  }
+  const auto tok = detail::tokenize(line);
+  if (tok.empty()) return detail::bad(line_consumed, "ERROR\r\n");
+
+  const std::string_view verb = tok[0];
+  if (verb == "get" || verb == "gets") {
+    if (tok.size() < 2) return detail::bad(line_consumed, "ERROR\r\n");
+    r.req.verb = Verb::kGet;
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+      if (tok[i].size() > kMaxKeyBytes) {
+        return detail::bad(line_consumed,
+                           "CLIENT_ERROR bad command line format\r\n");
+      }
+      r.req.keys.emplace_back(tok[i]);
+    }
+    r.status = ParseStatus::kOk;
+    r.consumed = line_consumed;
+    return r;
+  }
+
+  if (verb == "set" || verb == "add") {
+    // <verb> <key> <flags> <exptime> <bytes> [noreply] + <bytes> data + CRLF
+    if (tok.size() < 5 || tok.size() > 6) {
+      return detail::bad(line_consumed, "ERROR\r\n");
+    }
+    uint64_t flags = 0, exptime = 0, nbytes = 0;
+    const bool noreply = tok.size() == 6;
+    if (tok[1].size() > kMaxKeyBytes || !detail::parse_u64(tok[2], &flags) ||
+        flags > ~0u || !detail::parse_u64(tok[3], &exptime) ||
+        !detail::parse_u64(tok[4], &nbytes) ||
+        (noreply && tok[5] != "noreply")) {
+      return detail::bad(line_consumed,
+                         "CLIENT_ERROR bad command line format\r\n");
+    }
+    if (nbytes > kMaxValueBytes) {
+      // Still must swallow the data block to find the next request; only
+      // error out once it has fully arrived.
+      const std::size_t total = line_consumed + nbytes + 2;
+      if (buf.size() < total) return r;  // kNeedMore
+      return detail::bad(total, "SERVER_ERROR object too large for cache\r\n");
+    }
+    const std::size_t total = line_consumed + nbytes + 2;
+    if (buf.size() < total) return r;  // kNeedMore
+    if (buf[total - 2] != '\r' || buf[total - 1] != '\n') {
+      return detail::bad(total, "CLIENT_ERROR bad data chunk\r\n");
+    }
+    r.req.verb = verb == "set" ? Verb::kSet : Verb::kAdd;
+    r.req.keys.emplace_back(tok[1]);
+    r.req.flags = static_cast<uint32_t>(flags);
+    r.req.exptime = exptime;
+    r.req.noreply = noreply;
+    r.req.data.assign(buf.data() + line_consumed, nbytes);
+    r.status = ParseStatus::kOk;
+    r.consumed = total;
+    return r;
+  }
+
+  if (verb == "delete") {
+    if (tok.size() < 2 || tok.size() > 3 ||
+        (tok.size() == 3 && tok[2] != "noreply") ||
+        tok[1].size() > kMaxKeyBytes) {
+      return detail::bad(line_consumed,
+                         "CLIENT_ERROR bad command line format\r\n");
+    }
+    r.req.verb = Verb::kDelete;
+    r.req.keys.emplace_back(tok[1]);
+    r.req.noreply = tok.size() == 3;
+    r.status = ParseStatus::kOk;
+    r.consumed = line_consumed;
+    return r;
+  }
+
+  if (verb == "incr" || verb == "decr") {
+    uint64_t delta = 0;
+    if (tok.size() < 3 || tok.size() > 4 ||
+        (tok.size() == 4 && tok[3] != "noreply") ||
+        tok[1].size() > kMaxKeyBytes || !detail::parse_u64(tok[2], &delta)) {
+      return detail::bad(
+          line_consumed,
+          "CLIENT_ERROR invalid numeric delta argument\r\n");
+    }
+    r.req.verb = verb == "incr" ? Verb::kIncr : Verb::kDecr;
+    r.req.keys.emplace_back(tok[1]);
+    r.req.delta = delta;
+    r.req.noreply = tok.size() == 4;
+    r.status = ParseStatus::kOk;
+    r.consumed = line_consumed;
+    return r;
+  }
+
+  if (verb == "stats" && tok.size() == 1) {
+    r.req.verb = Verb::kStats;
+  } else if (verb == "version" && tok.size() == 1) {
+    r.req.verb = Verb::kVersion;
+  } else if (verb == "quit" && tok.size() == 1) {
+    r.req.verb = Verb::kQuit;
+  } else {
+    return detail::bad(line_consumed, "ERROR\r\n");
+  }
+  r.status = ParseStatus::kOk;
+  r.consumed = line_consumed;
+  return r;
+}
+
+}  // namespace montage::server

@@ -52,8 +52,16 @@ constexpr Meta kCounterMeta[kNumCounters] = {
     {"nvm.lines_flushed_total", "lines"},
     {"nvm.fences_total", "fences"},
     {"nvm.eio_injected", "events"},
+    {"server.connections_accepted", "connections"},
+    {"server.connections_shed", "connections"},
+    {"server.requests", "requests"},
+    {"server.requests_shed", "requests"},
+    {"server.idle_closed", "connections"},
+    {"server.stall_closed", "connections"},
+    {"server.backpressure_pauses", "pauses"},
+    {"server.sync_batches", "batches"},
 };
-static_assert(static_cast<uint32_t>(Ctr::kNvmEioInjected) == kNumCounters - 1,
+static_assert(static_cast<uint32_t>(Ctr::kSrvSyncBatches) == kNumCounters - 1,
               "counter catalog out of sync with Ctr enum");
 
 constexpr Meta kHistMeta[kNumHists] = {
@@ -62,8 +70,10 @@ constexpr Meta kHistMeta[kNumHists] = {
     {"epoch.writeback_batch_blocks", "blocks"},
     {"epoch.reclaim_batch_blocks", "blocks"},
     {"bench.op_latency_ns", "ns"},
+    {"server.ack_lag_ns", "ns"},
+    {"server.drain_latency_ns", "ns"},
 };
-static_assert(static_cast<uint32_t>(Hist::kBenchOpLatency) == kNumHists - 1,
+static_assert(static_cast<uint32_t>(Hist::kSrvDrainLatency) == kNumHists - 1,
               "histogram catalog out of sync with Hist enum");
 
 constexpr uint64_t kAnnexMagic = 0x3130454341525444ull;  // "DTRACE01" LE

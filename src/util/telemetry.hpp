@@ -130,6 +130,14 @@ enum class Ctr : uint32_t {
   kNvmLinesFlushed,
   kNvmFences,
   kNvmEioInjected,
+  kSrvConnsAccepted,
+  kSrvConnsShed,
+  kSrvRequests,
+  kSrvRequestsShed,
+  kSrvIdleClosed,
+  kSrvStallClosed,
+  kSrvBackpressure,
+  kSrvSyncBatches,
   kCount,
 };
 
@@ -142,6 +150,8 @@ enum class Hist : uint32_t {
   kDrainBatch,
   kReclaimBatch,
   kBenchOpLatency,
+  kSrvAckLag,
+  kSrvDrainLatency,
   kCount,
 };
 

@@ -1,0 +1,131 @@
+// Unit tests for the memcached text-protocol parser (src/server/protocol.hpp):
+// pipelining, incremental (kNeedMore) behavior, data-chunk framing, limits,
+// and exptime normalization.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace montage::server {
+namespace {
+
+TEST(Protocol, ParsesSimpleGet) {
+  const auto r = parse_request("get foo\r\n");
+  ASSERT_EQ(r.status, ParseStatus::kOk);
+  EXPECT_EQ(r.consumed, 9u);
+  EXPECT_EQ(r.req.verb, Verb::kGet);
+  ASSERT_EQ(r.req.keys.size(), 1u);
+  EXPECT_EQ(r.req.keys[0], "foo");
+}
+
+TEST(Protocol, ParsesMultiKeyGet) {
+  const auto r = parse_request("get a b c\r\n");
+  ASSERT_EQ(r.status, ParseStatus::kOk);
+  ASSERT_EQ(r.req.keys.size(), 3u);
+  EXPECT_EQ(r.req.keys[2], "c");
+}
+
+TEST(Protocol, ParsesSetWithDataBlock) {
+  const std::string in = "set k 7 100 5\r\nhello\r\nget k\r\n";
+  const auto r = parse_request(in);
+  ASSERT_EQ(r.status, ParseStatus::kOk);
+  EXPECT_EQ(r.req.verb, Verb::kSet);
+  EXPECT_EQ(r.req.keys[0], "k");
+  EXPECT_EQ(r.req.flags, 7u);
+  EXPECT_EQ(r.req.exptime, 100u);
+  EXPECT_EQ(r.req.data, "hello");
+  EXPECT_FALSE(r.req.noreply);
+  // Pipelining: exactly one request consumed, the next starts right after.
+  const auto r2 = parse_request(std::string_view(in).substr(r.consumed));
+  ASSERT_EQ(r2.status, ParseStatus::kOk);
+  EXPECT_EQ(r2.req.verb, Verb::kGet);
+}
+
+TEST(Protocol, SetNoreplyAndAdd) {
+  const auto r = parse_request("add k 0 0 2 noreply\r\nhi\r\n");
+  ASSERT_EQ(r.status, ParseStatus::kOk);
+  EXPECT_EQ(r.req.verb, Verb::kAdd);
+  EXPECT_TRUE(r.req.noreply);
+}
+
+TEST(Protocol, NeedMoreOnPartialLineAndPartialData) {
+  EXPECT_EQ(parse_request("get fo").status, ParseStatus::kNeedMore);
+  EXPECT_EQ(parse_request("set k 0 0 5\r\nhel").status, ParseStatus::kNeedMore);
+  // Data block complete only when the trailing CRLF arrived too.
+  EXPECT_EQ(parse_request("set k 0 0 5\r\nhello").status,
+            ParseStatus::kNeedMore);
+  EXPECT_EQ(parse_request("set k 0 0 5\r\nhello\r\n").status,
+            ParseStatus::kOk);
+}
+
+TEST(Protocol, BadDataChunkIsRejectedButConsumed) {
+  const auto r = parse_request("set k 0 0 5\r\nhelloXY");
+  ASSERT_EQ(r.status, ParseStatus::kBadLine);
+  EXPECT_EQ(r.consumed, std::string("set k 0 0 5\r\nhelloXY").size());
+  EXPECT_NE(r.error.find("bad data chunk"), std::string::npos);
+  EXPECT_FALSE(r.fatal);
+}
+
+TEST(Protocol, OversizedValueSwallowsDataAndErrors) {
+  const std::string big(kMaxValueBytes + 10, 'x');
+  const std::string in =
+      "set k 0 0 " + std::to_string(big.size()) + "\r\n" + big + "\r\nget n\r\n";
+  const auto r = parse_request(in);
+  ASSERT_EQ(r.status, ParseStatus::kBadLine);
+  EXPECT_NE(r.error.find("object too large"), std::string::npos);
+  // The stream resyncs to the next pipelined request.
+  const auto r2 = parse_request(std::string_view(in).substr(r.consumed));
+  ASSERT_EQ(r2.status, ParseStatus::kOk);
+  EXPECT_EQ(r2.req.verb, Verb::kGet);
+}
+
+TEST(Protocol, OversizedKeyIsRejected) {
+  const std::string key(kMaxKeyBytes + 1, 'k');
+  const auto r = parse_request("get " + key + "\r\n");
+  EXPECT_EQ(r.status, ParseStatus::kBadLine);
+}
+
+TEST(Protocol, UnknownVerbAndMalformedNumbers) {
+  EXPECT_EQ(parse_request("frobnicate\r\n").status, ParseStatus::kBadLine);
+  EXPECT_EQ(parse_request("set k x 0 5\r\nhello\r\n").status,
+            ParseStatus::kBadLine);
+  EXPECT_EQ(parse_request("incr k notanumber\r\n").status,
+            ParseStatus::kBadLine);
+  EXPECT_EQ(parse_request("delete\r\n").status, ParseStatus::kBadLine);
+}
+
+TEST(Protocol, DeleteIncrDecrStatsVersionQuit) {
+  auto r = parse_request("delete k noreply\r\n");
+  ASSERT_EQ(r.status, ParseStatus::kOk);
+  EXPECT_EQ(r.req.verb, Verb::kDelete);
+  EXPECT_TRUE(r.req.noreply);
+  r = parse_request("incr c 41\r\n");
+  ASSERT_EQ(r.status, ParseStatus::kOk);
+  EXPECT_EQ(r.req.verb, Verb::kIncr);
+  EXPECT_EQ(r.req.delta, 41u);
+  r = parse_request("decr c 1\r\n");
+  EXPECT_EQ(r.req.verb, Verb::kDecr);
+  EXPECT_EQ(parse_request("stats\r\n").req.verb, Verb::kStats);
+  EXPECT_EQ(parse_request("version\r\n").req.verb, Verb::kVersion);
+  EXPECT_EQ(parse_request("quit\r\n").req.verb, Verb::kQuit);
+}
+
+TEST(Protocol, UnterminatedOverlongLineIsFatal) {
+  const std::string junk(kMaxLineBytes + 100, 'a');  // no CRLF anywhere
+  const auto r = parse_request(junk);
+  ASSERT_EQ(r.status, ParseStatus::kBadLine);
+  EXPECT_TRUE(r.fatal);  // no way to find the next request boundary
+}
+
+TEST(Protocol, NormalizeExptime) {
+  EXPECT_EQ(normalize_exptime(0, 1000), 0u);            // never expires
+  EXPECT_EQ(normalize_exptime(60, 1000), 1060u);        // relative
+  EXPECT_EQ(normalize_exptime(kRelativeExptimeMax, 1000),
+            1000u + kRelativeExptimeMax);               // boundary: relative
+  EXPECT_EQ(normalize_exptime(4'000'000'000ull, 1000),
+            4'000'000'000ull);                          // absolute unix time
+}
+
+}  // namespace
+}  // namespace montage::server

@@ -7,6 +7,7 @@
 #include <set>
 #include <thread>
 
+#include "server/config.hpp"
 #include "util/barrier.hpp"
 #include "util/env.hpp"
 #include "util/hazard.hpp"
@@ -320,6 +321,89 @@ TEST(Timing, StopwatchMeasuresElapsed) {
   EXPECT_GE(sw.elapsed_ns(), 1'500'000u);
   sw.reset();
   EXPECT_LT(sw.elapsed_ns(), 1'000'000u);
+}
+
+// ---- server config -------------------------------------------------------------
+
+namespace {
+
+/// RAII: set a MONTAGE_SERVER_* variable for one test, restore on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+}  // namespace
+
+TEST(ServerConfig, DefaultsWhenUnset) {
+  for (const char* v :
+       {"MONTAGE_SERVER_PORT", "MONTAGE_SERVER_THREADS", "MONTAGE_SERVER_IDLE_MS",
+        "MONTAGE_SERVER_STALL_MS", "MONTAGE_SERVER_MAX_CONNS",
+        "MONTAGE_SERVER_MAX_INFLIGHT", "MONTAGE_SERVER_WRITE_BUF",
+        "MONTAGE_SERVER_SYNC_US", "MONTAGE_SERVER_DRAIN_MS"}) {
+    ::unsetenv(v);
+  }
+  const auto c = server::ServerConfig::from_env();
+  EXPECT_EQ(c.port, 11211);
+  EXPECT_EQ(c.workers, 4u);
+  EXPECT_EQ(c.max_conns, 1024u);
+  EXPECT_EQ(c.sync_interval_us, 500u);
+  EXPECT_EQ(c.drain_deadline_ms, 5000u);
+}
+
+TEST(ServerConfig, ParsesOverrides) {
+  ScopedEnv p("MONTAGE_SERVER_PORT", "0");
+  ScopedEnv t("MONTAGE_SERVER_THREADS", "2");
+  ScopedEnv i("MONTAGE_SERVER_MAX_INFLIGHT", "0");
+  ScopedEnv s("MONTAGE_SERVER_STALL_MS", "250");
+  const auto c = server::ServerConfig::from_env();
+  EXPECT_EQ(c.port, 0);
+  EXPECT_EQ(c.workers, 2u);
+  EXPECT_EQ(c.max_inflight, 0u);  // 0 = unbounded is a valid setting
+  EXPECT_EQ(c.stall_timeout_ms, 250u);
+}
+
+TEST(ServerConfig, RejectsMalformedInsteadOfDefaulting) {
+  // The PR-2 MONTAGE_STALL_* rule: garbage must abort startup, not silently
+  // run with a value the operator never chose.
+  {
+    ScopedEnv e("MONTAGE_SERVER_PORT", "eleven");
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_PORT", "70000");  // not a TCP port
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_THREADS", "0");
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_THREADS", "-3");
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_MAX_CONNS", "0");
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_WRITE_BUF", "100");  // one response can't fit
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_SYNC_US", "0");
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_DRAIN_MS", "5s");
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
 }
 
 }  // namespace
