@@ -295,32 +295,16 @@ class MontageMemCache : public Recoverable {
     return true;
   }
 
-  /// memcached incr/decr: numeric string value adjusted by `delta`, saturating
-  /// at zero on decrement. Returns the new value, or nullopt on miss or a
-  /// non-numeric value.
-  std::optional<uint64_t> incr(const CacheKey& key, int64_t delta) {
-    Shard& s = shard_of(key);
-    std::lock_guard lk(s.lock);
-    auto it = s.index.find(key);
-    if (it == s.index.end()) return std::nullopt;
-    Item& item = *it->second;
-    const std::string cur = item.payload->get_val().str();
-    if (cur.empty() ||
-        cur.find_first_not_of("0123456789") != std::string::npos) {
-      return std::nullopt;
-    }
-    uint64_t v = std::strtoull(cur.c_str(), nullptr, 10);
-    if (delta < 0 && static_cast<uint64_t>(-delta) > v) {
-      v = 0;  // memcached semantics: decr saturates at zero
-    } else {
-      v += static_cast<uint64_t>(delta);
-    }
-    BEGIN_OP_AUTOEND();
-    item.payload = item.payload->set_val(CacheValue(std::to_string(v)));
-    return v;
+  /// memcached incr/decr: numeric string value adjusted by `delta`. The
+  /// delta is unsigned with an explicit direction, as in memcached itself —
+  /// a signed delta could not represent steps >= 2^63 without overflow.
+  /// incr wraps at 2^64, decr saturates at zero (both memcached rules).
+  /// Returns the new value, or nullopt on miss or a non-numeric value.
+  std::optional<uint64_t> incr(const CacheKey& key, uint64_t delta) {
+    return adjust(key, delta, /*negative=*/false);
   }
   std::optional<uint64_t> decr(const CacheKey& key, uint64_t delta) {
-    return incr(key, -static_cast<int64_t>(delta));
+    return adjust(key, delta, /*negative=*/true);
   }
 
   CacheStats stats() const {
@@ -363,6 +347,29 @@ class MontageMemCache : public Recoverable {
     std::unordered_map<CacheKey, typename std::list<Item>::iterator> index;
     std::atomic<uint64_t> hits{0}, misses{0}, evictions{0};
   };
+
+  std::optional<uint64_t> adjust(const CacheKey& key, uint64_t delta,
+                                 bool negative) {
+    Shard& s = shard_of(key);
+    std::lock_guard lk(s.lock);
+    auto it = s.index.find(key);
+    if (it == s.index.end()) return std::nullopt;
+    Item& item = *it->second;
+    const std::string cur = item.payload->get_val().str();
+    if (cur.empty() ||
+        cur.find_first_not_of("0123456789") != std::string::npos) {
+      return std::nullopt;
+    }
+    uint64_t v = std::strtoull(cur.c_str(), nullptr, 10);
+    if (negative) {
+      v = delta > v ? 0 : v - delta;  // decr saturates at zero
+    } else {
+      v += delta;  // incr wraps at 2^64
+    }
+    BEGIN_OP_AUTOEND();
+    item.payload = item.payload->set_val(CacheValue(std::to_string(v)));
+    return v;
+  }
 
   /// Caller holds the shard lock and an active operation.
   void evict_if_full(Shard& s) {

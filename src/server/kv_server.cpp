@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -31,7 +32,8 @@ constexpr int kMutationRetries = 8;    // epoch-conflict retry budget per op
 
 uint64_t wall_seconds() { return static_cast<uint64_t>(::time(nullptr)); }
 
-void set_nonblock_nodelay(int fd) {
+// Accepted fds are already non-blocking (accept4 passes SOCK_NONBLOCK).
+void set_nodelay(int fd) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
@@ -48,6 +50,7 @@ struct PendingResp {
 struct KvServer::Conn {
   int fd = -1;
   std::string in;                   // unparsed request bytes
+  uint64_t discard_remaining = 0;   // oversized data block being skipped
   std::deque<PendingResp> pending;  // FIFO: responses awaiting release
   std::size_t pending_bytes = 0;
   std::string out;  // released bytes being written
@@ -231,7 +234,7 @@ void KvServer::accept_ready() {
       telemetry::count(telemetry::Ctr::kSrvConnsShed);
       continue;
     }
-    set_nonblock_nodelay(fd);
+    set_nodelay(fd);
     conn_count_.fetch_add(1, std::memory_order_relaxed);
     stats_.conns_accepted.add();
     telemetry::count(telemetry::Ctr::kSrvConnsAccepted);
@@ -382,8 +385,19 @@ void KvServer::handle_readable(Worker& w, Conn& c) {
   while (!c.paused && !c.close_after_flush) {
     const ssize_t n = ::recv(c.fd, tmp, sizeof(tmp), 0);
     if (n > 0) {
-      c.in.append(tmp, static_cast<std::size_t>(n));
+      const char* p = tmp;
+      std::size_t len = static_cast<std::size_t>(n);
       c.last_read_ns = util::now_ns();
+      if (c.discard_remaining > 0) {
+        // Mid-skip of an oversized data block: drop the bytes on the floor
+        // instead of buffering them (c.in stays bounded no matter how large
+        // the announced block is).
+        const uint64_t d = std::min<uint64_t>(c.discard_remaining, len);
+        p += d;
+        len -= static_cast<std::size_t>(d);
+        c.discard_remaining -= d;
+      }
+      c.in.append(p, len);
       if (c.in.size() > kMaxLineBytes + kMaxValueBytes + 2) break;
     } else if (n == 0) {
       // Peer half-closed: answer what we have, then close.
@@ -402,7 +416,17 @@ void KvServer::handle_readable(Worker& w, Conn& c) {
   while (off < c.in.size()) {
     const ParseResult r =
         parse_request(std::string_view(c.in).substr(off));
-    if (r.status == ParseStatus::kNeedMore) break;
+    if (r.status == ParseStatus::kNeedMore) {
+      // A valid request is at most one max-length line plus one max-size
+      // data block; anything longer that still won't parse can never
+      // complete, so don't let it pin the buffer (or grow it) forever.
+      if (c.in.size() - off > kMaxLineBytes + kMaxValueBytes + 4) {
+        enqueue(w, c, "CLIENT_ERROR request too large\r\n", 0,
+                /*noreply=*/false);
+        c.close_after_flush = true;
+      }
+      break;
+    }
     off += r.consumed;
     stats_.requests.add();
     telemetry::count(telemetry::Ctr::kSrvRequests);
@@ -411,6 +435,14 @@ void KvServer::handle_readable(Worker& w, Conn& c) {
       if (r.fatal) {
         c.close_after_flush = true;
         break;
+      }
+      if (r.discard > 0) {
+        // Oversized data block: skip whatever already arrived and arm the
+        // recv path to drop the rest as it comes in.
+        const uint64_t d = std::min<uint64_t>(r.discard, c.in.size() - off);
+        off += static_cast<std::size_t>(d);
+        c.discard_remaining = r.discard - d;
+        if (c.discard_remaining > 0) break;
       }
       continue;
     }
@@ -455,7 +487,10 @@ void KvServer::handle_request(Worker& w, Conn& c, const Request& req) {
       std::string resp;
       for (const auto& k : req.keys) {
         uint32_t flags = 0;
-        const auto v = cache_->get(kvstore::CacheKey(k), &flags, now);
+        // Even a read can hit an epoch conflict: lazy expiry of a stale item
+        // runs a persistent delete, which a racing epoch advance can abort.
+        const auto v = with_retries(
+            [&] { return cache_->get(kvstore::CacheKey(k), &flags, now); });
         if (!v.has_value()) continue;
         resp += "VALUE " + k + " " + std::to_string(flags) + " " +
                 std::to_string(v->size()) + "\r\n";
@@ -510,11 +545,13 @@ void KvServer::handle_request(Worker& w, Conn& c, const Request& req) {
     }
     case Verb::kIncr:
     case Verb::kDecr: {
-      const int64_t delta = req.verb == Verb::kIncr
-                                ? static_cast<int64_t>(req.delta)
-                                : -static_cast<int64_t>(req.delta);
-      const auto v = with_retries(
-          [&] { return cache_->incr(kvstore::CacheKey(req.keys[0]), delta); });
+      // The delta stays unsigned with an explicit direction (as in memcached
+      // itself): a signed representation could not hold steps >= 2^63.
+      const kvstore::CacheKey key(req.keys[0]);
+      const auto v = with_retries([&] {
+        return req.verb == Verb::kIncr ? cache_->incr(key, req.delta)
+                                       : cache_->decr(key, req.delta);
+      });
       const uint64_t e = esys_->current_epoch();
       if (v.has_value()) {
         uint64_t cur = ack_target_.load(std::memory_order_relaxed);

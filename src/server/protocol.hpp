@@ -25,6 +25,11 @@ inline constexpr std::size_t kMaxLineBytes = 8192;
 inline constexpr std::size_t kMaxKeyBytes = kvstore::CacheKey::capacity();
 /// Largest accepted value, bound by the cache's inline value capacity.
 inline constexpr std::size_t kMaxValueBytes = kvstore::CacheValue::capacity();
+/// Largest oversized data block the server will discard to resync the
+/// stream. A `set` announcing more than this (nbytes can be any uint64) is
+/// not worth swallowing: the connection is closed instead. Also guards the
+/// `line + nbytes + 2` arithmetic against uint64 wrap-around.
+inline constexpr uint64_t kMaxSwallowBytes = 1ull << 20;
 /// memcached rule: exptime values up to 30 days are relative seconds,
 /// larger values are absolute unix timestamps.
 inline constexpr uint64_t kRelativeExptimeMax = 60ull * 60 * 24 * 30;
@@ -67,6 +72,11 @@ struct ParseResult {
   Request req;               ///< valid when status == kOk
   std::string error;  ///< full reply line to send when status == kBadLine
   bool fatal = false;  ///< kBadLine only: connection cannot resync; close it
+  /// kBadLine only: data-block bytes (incl. trailing CRLF) that follow the
+  /// consumed command line and must be skipped — never buffered — before the
+  /// next request starts. May exceed what has arrived so far; the caller
+  /// keeps discarding incoming bytes until the count is exhausted.
+  uint64_t discard = 0;
 };
 
 /// Apply memcached exptime semantics: 0 = never expires, values up to 30
@@ -174,11 +184,19 @@ inline ParseResult parse_request(std::string_view buf) {
                          "CLIENT_ERROR bad command line format\r\n");
     }
     if (nbytes > kMaxValueBytes) {
-      // Still must swallow the data block to find the next request; only
-      // error out once it has fully arrived.
-      const std::size_t total = line_consumed + nbytes + 2;
-      if (buf.size() < total) return r;  // kNeedMore
-      return detail::bad(total, "SERVER_ERROR object too large for cache\r\n");
+      if (nbytes > kMaxSwallowBytes) {
+        // Too big to bother swallowing (and `nbytes + 2` could wrap for
+        // adversarial sizes): the connection is not worth resyncing.
+        return detail::bad(line_consumed,
+                           "SERVER_ERROR object too large for cache\r\n",
+                           /*fatal=*/true);
+      }
+      // Error out immediately and tell the caller to skip the data block as
+      // it arrives — buffering it would let a client hold nbytes of memory.
+      ParseResult oversized = detail::bad(
+          line_consumed, "SERVER_ERROR object too large for cache\r\n");
+      oversized.discard = nbytes + 2;
+      return oversized;
     }
     const std::size_t total = line_consumed + nbytes + 2;
     if (buf.size() < total) return r;  // kNeedMore

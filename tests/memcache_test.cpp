@@ -273,6 +273,23 @@ TEST(MontageCache, IncrDecrSemantics) {
   EXPECT_FALSE(c.incr("s", 1).has_value());
 }
 
+TEST(MontageCache, IncrDecrExtremeDeltas) {
+  PersistentEnv env(128 << 20, no_advancer());
+  MontageMemCache c(env.esys(), 4, 1000);
+  // 2^63 is unrepresentable as int64_t — the remote repro that used to hit
+  // signed-overflow UB. decr saturates at zero, however large the step.
+  c.set("n", "5");
+  EXPECT_EQ(*c.decr("n", 9223372036854775808ull), 0u);
+  EXPECT_EQ(*c.decr("n", ~0ull), 0u);
+  // incr wraps at 2^64, as in memcached.
+  c.set("m", "18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ(*c.incr("m", 1), 0u);
+  EXPECT_EQ(*c.incr("m", 9223372036854775808ull), 9223372036854775808ull);
+  // decr by exactly the current value lands on zero, not saturation.
+  c.set("z", "42");
+  EXPECT_EQ(*c.decr("z", 42), 0u);
+}
+
 TEST(MontageCache, IncrementedCounterSurvivesCrash) {
   PersistentEnv env(128 << 20, no_advancer());
   MontageMemCache c(env.esys(), 4, 1000);

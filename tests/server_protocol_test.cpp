@@ -67,17 +67,38 @@ TEST(Protocol, BadDataChunkIsRejectedButConsumed) {
   EXPECT_FALSE(r.fatal);
 }
 
-TEST(Protocol, OversizedValueSwallowsDataAndErrors) {
+TEST(Protocol, OversizedValueErrorsImmediatelyAndReportsDiscard) {
   const std::string big(kMaxValueBytes + 10, 'x');
-  const std::string in =
-      "set k 0 0 " + std::to_string(big.size()) + "\r\n" + big + "\r\nget n\r\n";
-  const auto r = parse_request(in);
+  const std::string line = "set k 0 0 " + std::to_string(big.size()) + "\r\n";
+  const std::string in = line + big + "\r\nget n\r\n";
+  // The error comes back as soon as the command line parses — the data block
+  // need not (and must not) be buffered while it trickles in.
+  const auto r = parse_request(line);
   ASSERT_EQ(r.status, ParseStatus::kBadLine);
   EXPECT_NE(r.error.find("object too large"), std::string::npos);
-  // The stream resyncs to the next pipelined request.
-  const auto r2 = parse_request(std::string_view(in).substr(r.consumed));
+  EXPECT_FALSE(r.fatal);
+  EXPECT_EQ(r.consumed, line.size());
+  EXPECT_EQ(r.discard, big.size() + 2);
+  // The stream resyncs to the next pipelined request once the caller skips
+  // the announced block.
+  const auto r2 =
+      parse_request(std::string_view(in).substr(r.consumed + r.discard));
   ASSERT_EQ(r2.status, ParseStatus::kOk);
   EXPECT_EQ(r2.req.verb, Verb::kGet);
+}
+
+TEST(Protocol, AbsurdDataBlockSizesAreFatal) {
+  // Larger than the swallow cap: not worth resyncing; close the connection.
+  const auto r = parse_request(
+      "set k 0 0 " + std::to_string(kMaxSwallowBytes + 1) + "\r\n");
+  ASSERT_EQ(r.status, ParseStatus::kBadLine);
+  EXPECT_TRUE(r.fatal);
+  EXPECT_EQ(r.discard, 0u);
+  // nbytes near 2^64 must not wrap the line+nbytes+2 arithmetic into a tiny
+  // "total" that would desync the stream.
+  const auto r2 = parse_request("set k 0 0 18446744073709551615\r\nXY");
+  ASSERT_EQ(r2.status, ParseStatus::kBadLine);
+  EXPECT_TRUE(r2.fatal);
 }
 
 TEST(Protocol, OversizedKeyIsRejected) {

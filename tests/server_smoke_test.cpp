@@ -224,6 +224,52 @@ TEST(ServerSmoke, PipelinedProtocolBasics) {
   EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0) << st;
 }
 
+TEST(ServerSmoke, OversizedSetIsDiscardedAndStreamResyncs) {
+  const std::string dir = test_dir();
+  ServerHandle srv = start_server(dir, {{"MONTAGE_SERVER_REGION_MB", "64"}});
+  ASSERT_GT(srv.port, 0);
+  const int fd = connect_to(srv.port);
+  // A 200 KB data block (way past the 1 KB value cap) announced up front,
+  // then delivered in pieces: the server must answer "object too large"
+  // immediately, drop the block as it arrives instead of buffering it, and
+  // stay in sync for the pipelined requests behind it.
+  const std::string big(200'000, 'x');
+  ASSERT_TRUE(send_all(fd, "set big 0 0 " + std::to_string(big.size()) +
+                               "\r\n" + big.substr(0, 50'000)));
+  ::usleep(50'000);  // let the server consume (and discard) the first chunk
+  ASSERT_TRUE(send_all(fd, big.substr(50'000) + "\r\n" +
+                               "set ok 0 0 2\r\nhi\r\nget ok\r\n"));
+  const std::string resp = recv_until(fd, "END\r\n", 1);
+  EXPECT_NE(resp.find("SERVER_ERROR object too large"), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("STORED\r\nVALUE ok 0 2\r\nhi\r\nEND\r\n"),
+            std::string::npos)
+      << resp;
+  ::close(fd);
+  // An absurd announced size (2^64 - 1 would wrap naive length arithmetic)
+  // is not worth resyncing: error, then hang up.
+  const int fd2 = connect_to(srv.port);
+  ASSERT_TRUE(send_all(fd2, "set k 0 0 18446744073709551615\r\njunk"));
+  const std::string resp2 = recv_until_eof(fd2);
+  EXPECT_NE(resp2.find("SERVER_ERROR object too large"), std::string::npos)
+      << resp2;
+  ::close(fd2);
+  // A delta of 2^63 (unrepresentable as int64_t) must not crash the server
+  // (it used to be signed-overflow UB); decr saturates at zero.
+  const int fd3 = connect_to(srv.port);
+  ASSERT_TRUE(send_all(fd3,
+                       "set ctr 0 0 1\r\n5\r\n"
+                       "decr ctr 9223372036854775808\r\n"
+                       "get ctr\r\n"));
+  const std::string resp3 = recv_until(fd3, "END\r\n", 1);
+  EXPECT_NE(resp3.find("STORED\r\n0\r\n"), std::string::npos) << resp3;
+  EXPECT_NE(resp3.find("VALUE ctr 0 1\r\n0\r\n"), std::string::npos) << resp3;
+  ::close(fd3);
+  ASSERT_EQ(::kill(srv.pid, SIGTERM), 0);
+  const int st = srv.wait_exit();
+  EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0) << st;
+}
+
 TEST(ServerSmoke, SigtermDrainFlushesInFlight) {
   const std::string dir = test_dir();
   ServerHandle srv = start_server(dir, {{"MONTAGE_SERVER_REGION_MB", "64"},
