@@ -9,12 +9,19 @@
 //   stall_adopt   — the same stall with a 10 ms adoption deadline: the
 //                   advancer adopts the orphan's buffers, aborts its op and
 //                   the clock keeps moving.
+//   advancer_kill — nobody stalls, but the background advancer is killed
+//                   halfway through the run and never restarted: workers
+//                   tick the clock cooperatively (DESIGN.md §12), so
+//                   throughput and epoch_rate should track `healthy` and
+//                   sync stays bounded without any advancer thread.
 // Reported per configuration:
-//   fig14,throughput,<cfg> — survivor throughput, Mops/s
-//   fig14,epoch_rate,<cfg> — epoch advances per second during the run
-//   fig14,sync_ms,<cfg>    — bounded sync_for(500ms) latency after the run
-//                            (clamped at the deadline when it times out)
-//   fig14,sync_ok,<cfg>    — 1 if that sync completed, 0 if it timed out
+//   fig14,throughput,<cfg>   — survivor throughput, Mops/s
+//   fig14,epoch_rate,<cfg>   — epoch advances per second during the run
+//   fig14,sync_ms,<cfg>      — bounded sync_for(500ms) latency after the run
+//                              (clamped at the deadline when it times out)
+//   fig14,sync_ok,<cfg>      — 1 if that sync completed, 0 if it timed out
+//   fig14,sync_max_ns,<cfg>  — worst case over several post-run syncs (the
+//                              first plus three more when it completed)
 #include <atomic>
 
 #include "bench/common.hpp"
@@ -29,7 +36,7 @@ struct Payload : public PBlk {
 };
 
 void run_config(const Config& cfg, const std::string& name, bool stall,
-                uint64_t deadline_ns) {
+                uint64_t deadline_ns, bool kill_advancer = false) {
   BenchEnv env(cfg, 1ull << 30);
   EpochSys::Options opts;
   opts.epoch_length_ns = 1'000'000;  // 1 ms epochs: resolve the advance rate
@@ -55,6 +62,14 @@ void run_config(const Config& cfg, const std::string& name, bool stall,
     }
   }
 
+  std::thread killer;
+  if (kill_advancer) {
+    killer = std::thread([es, secs = cfg.seconds] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(secs / 2));
+      es->inject_advancer_kill();
+    });
+  }
+
   const uint64_t e0 = es->current_epoch();
   const uint64_t t0 = util::now_ns();
   const int survivors = std::max(1, cfg.max_threads - 1);
@@ -68,16 +83,29 @@ void run_config(const Config& cfg, const std::string& name, bool stall,
   const double elapsed = util::to_seconds(util::now_ns() - t0);
   const double epoch_rate =
       static_cast<double>(es->current_epoch() - e0) / elapsed;
+  if (killer.joinable()) killer.join();
 
   constexpr uint64_t kSyncDeadlineNs = 500'000'000;  // 500 ms
   const uint64_t s0 = util::now_ns();
   const bool ok = es->sync_for(kSyncDeadlineNs);
-  const double sync_ms = static_cast<double>(util::now_ns() - s0) / 1e6;
+  uint64_t sync_max_ns = util::now_ns() - s0;
+  const double sync_ms = static_cast<double>(sync_max_ns) / 1e6;
+  if (ok) {
+    // Worst case over a few more syncs: with the advancer dead this is the
+    // bound the cooperative protocol actually delivers. Skipped after a
+    // timeout — the clamp already is the maximum.
+    for (int i = 0; i < 3; ++i) {
+      const uint64_t s = util::now_ns();
+      if (!es->sync_for(kSyncDeadlineNs)) break;
+      sync_max_ns = std::max(sync_max_ns, util::now_ns() - s);
+    }
+  }
 
   emit_result("fig14", "throughput", name, tr);
   emit("fig14", "epoch_rate", name, epoch_rate);
   emit("fig14", "sync_ms", name, sync_ms);
   emit("fig14", "sync_ok", name, ok ? 1.0 : 0.0);
+  emit("fig14", "sync_max_ns", name, static_cast<double>(sync_max_ns));
 
   release.store(true);
   if (orphan.joinable()) orphan.join();
@@ -94,6 +122,10 @@ void main_impl() {
   if (series_enabled("stall_adopt")) {
     run_config(cfg, "stall_adopt", /*stall=*/true,
                /*deadline_ns=*/10'000'000);
+  }
+  if (series_enabled("advancer_kill")) {
+    run_config(cfg, "advancer_kill", /*stall=*/false, /*deadline_ns=*/0,
+               /*kill_advancer=*/true);
   }
 }
 

@@ -4,6 +4,14 @@
 //   Montage(dw) — all written payloads flushed at the end of each operation
 // Strict-DL systems persist every operation regardless of k, so their
 // curves are flat; they are reported at each k for reference.
+//
+// Montage(cb-kill) is Montage(cb) with the background advancer killed
+// halfway through each point and never restarted: sync() must drive its own
+// cooperative advances, and the worst-case row (sync_max_ns) stays finite —
+// the liveness claim of DESIGN.md §12 in benchmark form.
+#include <chrono>
+#include <thread>
+
 #include "bench/map_adapters.hpp"
 
 namespace montage::bench {
@@ -23,12 +31,17 @@ void emit_sync_percentiles(const std::string& name, const std::string& x) {
     const telemetry::Percentiles p = telemetry::hist_percentiles(h);
     emit("fig9", name + "/sync_p50_ns", x, static_cast<double>(p.p50));
     emit("fig9", name + "/sync_p99_ns", x, static_cast<double>(p.p99));
+    // Worst case (bucket-resolution exact): the bound sync() actually
+    // delivered, which must stay finite even with the advancer dead.
+    emit("fig9", name + "/sync_max_ns", x,
+         static_cast<double>(telemetry::hist_percentile(h, 1.0)));
   }
 }
 
 template <typename Adapter>
 void run_series(const Config& cfg, const std::string& name,
-                const EpochSys::Options* esys_opts) {
+                const EpochSys::Options* esys_opts,
+                bool kill_advancer = false) {
   const Val value = make_value<1024>();
   const auto buckets =
       std::max<uint64_t>(1024, static_cast<uint64_t>(1'000'000 * cfg.scale));
@@ -42,9 +55,19 @@ void run_series(const Config& cfg, const std::string& name,
     Adapter a(env, buckets);
     preload_map(a, buckets / 2, buckets, value);
     telemetry::reset_metrics();  // isolate this point's sync histogram
+    std::thread killer;
+    if (kill_advancer) {
+      // Die mid-run and never come back: the second half of every point
+      // runs advancer-free, so the sync percentiles cover both regimes.
+      killer = std::thread([&env, secs = cfg.seconds] {
+        std::this_thread::sleep_for(std::chrono::duration<double>(secs / 2));
+        env.esys()->inject_advancer_kill();
+      });
+    }
     const ThroughputResult r = run_map_mix(a, cfg.max_threads, cfg.seconds, 0,
                                            1, 1, buckets, value,
                                            /*sync_every=*/k);
+    if (killer.joinable()) killer.join();
     emit_result("fig9", name, std::to_string(k), r);
     if (esys_opts != nullptr) emit_sync_percentiles(name, std::to_string(k));
   }
@@ -62,6 +85,8 @@ void main_impl() {
   run_series<TransientMapAdapter<Val, ds::NvmMem>>(cfg, "NVM(T)", nullptr);
   run_series<MontageMapAdapter<Val>>(cfg, "Montage(T)", &transient_opts);
   run_series<MontageMapAdapter<Val>>(cfg, "Montage(cb)", &cb);
+  run_series<MontageMapAdapter<Val>>(cfg, "Montage(cb-kill)", &cb,
+                                     /*kill_advancer=*/true);
   run_series<MontageMapAdapter<Val>>(cfg, "Montage(dw)", &dw);
   run_series<SoftMapAdapter<Val>>(cfg, "SOFT", nullptr);
   run_series<NvTraverseMapAdapter<Val>>(cfg, "NVTraverse", nullptr);

@@ -34,6 +34,17 @@ ctest --test-dir "$OFF_DIR" --output-on-failure -j "$(nproc)" \
   -R "Telemetry|ShardedCounter|Region|EpochBasic|PerfCounters|ServerConfig|Protocol|ServerSmoke" \
   "$@"
 
+# Cooperative-advance leg: the advancer-free tick path is the raciest code
+# in the tree (any thread may CAS the clock while helping peers' write-
+# backs), and the telemetry kill-switch changes which code is compiled in.
+# Build it under TSan WITH telemetry off and run the liveness/pacing
+# suites, so a race hiding behind counter call sites can't slip through.
+COOP_DIR=build-thread-telemetry-off
+cmake -B "$COOP_DIR" -S . -DMONTAGE_SANITIZE=thread -DMONTAGE_TELEMETRY=OFF
+cmake --build "$COOP_DIR" -j "$(nproc)"
+ctest --test-dir "$COOP_DIR" --output-on-failure -j "$(nproc)" \
+  -R "ThreadFailure|CooperativeWatchdog" "$@"
+
 # Smoke-perf leg (opt in with MONTAGE_SMOKE_PERF=1): a tiny un-sanitized
 # orchestrator run gated against the committed baseline. The threshold is
 # deliberately generous and only throughput series are gated

@@ -98,4 +98,24 @@ for h in "${HEADERS[@]}"; do
   fi
 done
 
+# Metric-catalog coverage: every counter/histogram name registered in
+# telemetry.cpp must appear in DESIGN.md (the §9 metric tables), so a new
+# metric cannot ship without a documentation row.
+metric_fail=0
+while IFS= read -r m; do
+  if ! grep -qF "\`$m\`" DESIGN.md; then
+    echo "check_docs: DESIGN.md missing metric doc for $m"
+    metric_fail=1
+  fi
+done < <(awk '/constexpr Meta (kCounterMeta|kHistMeta)\[/ { in_cat = 1; next }
+              in_cat && /^};/ { in_cat = 0 }
+              in_cat && match($0, /\{"[^"]+"/) {
+                print substr($0, RSTART + 2, RLENGTH - 3)
+              }' src/util/telemetry.cpp)
+if [[ $metric_fail -eq 0 ]]; then
+  echo "check_docs: metric catalog documented OK"
+else
+  fail=1
+fi
+
 exit $fail

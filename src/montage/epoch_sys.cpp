@@ -26,6 +26,10 @@ constexpr uint64_t kUidBatch = 1 << 16;
 constexpr uint64_t kEmergencyAdvanceBudgetNs = 100'000'000;
 // Cap on the exponential write-back retry backoff.
 constexpr uint64_t kMaxBackoffNs = 1'000'000;
+// How long a cooperative advancer spins for the contention shield before
+// proceeding lock-free. Bounds the damage of a slow (or wedged) shield
+// holder without ever blocking on it.
+constexpr uint64_t kShieldSpinNs = 20'000;
 
 uint64_t xorshift64(uint64_t& s) {
   s ^= s << 13;
@@ -35,6 +39,9 @@ uint64_t xorshift64(uint64_t& s) {
 }
 
 thread_local EpochSys* tls_esys = nullptr;
+// True on the background advancer thread: separates epoch.advances driven by
+// the pacer from epoch.cooperative_advances driven by workers and sync().
+thread_local bool tls_is_advancer = false;
 std::atomic<EpochSys*> g_default_esys{nullptr};
 }  // namespace
 
@@ -55,12 +62,16 @@ EpochSys::EpochSys(ralloc::Ralloc* ral, const Options& opts, bool recover)
     // durable clock and re-derives the same cutoff — recovery is idempotent
     // under re-crash.
     clock_->store(crash_epoch_ + 2, std::memory_order_relaxed);
+    // The durable clock is still the pre-crash value until recover()'s
+    // final publish; persisted_frontier() must not run ahead of it.
+    durable_clock_.store(crash_epoch_, std::memory_order_relaxed);
   } else {
     crash_epoch_ = 0;
     clock_->store(kFirstEpoch, std::memory_order_relaxed);
     uid_root_->store(1, std::memory_order_relaxed);
     region->persist(uid_root_, sizeof(*uid_root_));
     region->persist_fence(clock_, sizeof(*clock_));
+    durable_clock_.store(kFirstEpoch, std::memory_order_relaxed);
   }
 
   EpochSys* expected = nullptr;
@@ -135,6 +146,7 @@ void EpochSys::start_advancer_locked() {
 }
 
 void EpochSys::advancer_loop() {
+  tls_is_advancer = true;
   const uint64_t len = opts_.epoch_length_ns;
   while (!stop_.load(std::memory_order_acquire)) {
     if (len >= 1'000'000) {
@@ -158,8 +170,9 @@ void EpochSys::advancer_loop() {
     } catch (...) {
       // A persist failure (or an injected crash point) reached the
       // advancer. Dying silently is exactly what a real advancer thread
-      // would do; the workers' watchdog notices the stale clock, restarts
-      // us, and keeps the epoch moving meanwhile.
+      // would do; workers notice the stale clock and keep ticking it
+      // cooperatively (the watchdog restarts us only if
+      // Options::watchdog_restart opted in).
       break;
     }
   }
@@ -411,7 +424,7 @@ void EpochSys::abort_op() noexcept {
         }
         // Queue for the normal two-epoch-deferred reclamation, which
         // persists the dead header before the memory is reused.
-        td.to_free[e % 4].push_back(p);
+        queue_free(td, e, p);
       }
       update_mindicator(td, static_cast<int>(&td - tds_.get()));
     }
@@ -503,7 +516,7 @@ PBlk* EpochSys::ensure_writable(PBlk* p) {
       throw OrphanedOperationException{};
     }
     td.op_new_blocks.push_back(clone);
-    td.to_free[td.op_epoch % 4].push_back(p);
+    queue_free(td, td.op_epoch, p);
   }
   return clone;
 }
@@ -573,7 +586,7 @@ void EpochSys::pdelete(PBlk* p) {
     }
     p->blktype_ = static_cast<uint32_t>(BlkType::kDelete);
     register_write_locked(td, p);
-    td.to_free[e % 4].push_back(p);
+    queue_free(td, e, p);
   } else {
     // Anti-payload: same uid, current epoch. It outlives its victim by one
     // epoch so that recovery always sees it while the victim might survive.
@@ -591,8 +604,8 @@ void EpochSys::pdelete(PBlk* p) {
     }
     td.op_new_blocks.push_back(anti);
     register_write_locked(td, anti);
-    td.to_free[(e + 1) % 4].push_back(anti);
-    td.to_free[e % 4].push_back(p);
+    queue_free(td, e + 1, anti);
+    queue_free(td, e, p);
   }
 }
 
@@ -688,10 +701,21 @@ void EpochSys::reclaim_now(PBlk* p) {
   persist_retry(p, sizeof(PBlk));
 }
 
+void EpochSys::queue_free(ThreadData& td, uint64_t e, PBlk* p) {
+  if (td.free_epoch[e % 4] < e) td.free_epoch[e % 4] = e;
+  td.to_free[e % 4].push_back(p);
+}
+
 std::size_t EpochSys::reclaim_list(ThreadData& td, uint64_t e) {
   std::vector<PBlk*> victims;
   {
     std::lock_guard lk(td.m);
+    // A slot holding anything newer than e is not ours to sweep: a stale
+    // cooperative advancer whose clock read lost a full lap to concurrent
+    // ticks would otherwise reclaim epoch e+4 blocks three epochs early.
+    // (Blocks older than their due epoch in a newer slot are reclaimed when
+    // the newer epoch matures — late, never early.)
+    if (td.free_epoch[e % 4] > e) return 0;
     victims.swap(td.to_free[e % 4]);
   }
   if (victims.empty()) return 0;
@@ -767,7 +791,7 @@ void EpochSys::adopt_thread(int tid, uint64_t upto) {
       if (ring.empty()) td.ring_epoch[e % 4] = e;
       ring.push_back(p);
     }
-    td.to_free[e % 4].push_back(p);
+    queue_free(td, e, p);
   }
   td.op_new_blocks.clear();
   update_mindicator(td, tid);
@@ -787,25 +811,69 @@ void EpochSys::advance_epoch() {
   (void)try_advance_epoch(kNoDeadline);
 }
 
+void EpochSys::bump_durable_clock(uint64_t v) {
+  uint64_t d = durable_clock_.load(std::memory_order_relaxed);
+  while (d < v && !durable_clock_.compare_exchange_weak(
+                      d, v, std::memory_order_release,
+                      std::memory_order_relaxed)) {
+  }
+}
+
 bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
   if (opts_.transient) return true;
-  // Advance latency is measured from entry (lock wait included — contention
-  // on the advance mutex IS part of what a slow clock feels like).
+  // Advance latency is measured from entry (gate and shield waits included —
+  // contention IS part of what a slow clock feels like).
   uint64_t t0 = 0;
   if constexpr (telemetry::kEnabled) t0 = util::now_ns();
-  std::unique_lock lk(advance_mutex_, std::defer_lock);
-  if (abs_deadline_ns == kNoDeadline) {
-    lk.lock();
-  } else {
+  const uint64_t e_entry = clock_->load(std::memory_order_acquire);
+
+  // Recovery gate: recover() freezes the durable clock by blocking new
+  // advances and draining in-flight ones; nothing else ever sets it.
+  while (true) {
+    while (advance_blocked_.load(std::memory_order_acquire)) {
+      if (abs_deadline_ns != kNoDeadline && util::now_ns() > abs_deadline_ns) {
+        return false;
+      }
+      std::this_thread::yield();
+    }
+    advancers_active_.fetch_add(1, std::memory_order_acq_rel);
+    if (!advance_blocked_.load(std::memory_order_acquire)) break;
+    advancers_active_.fetch_sub(1, std::memory_order_release);
+  }
+  struct GateGuard {  // exception-safe: CrashPointException must drain too
+    std::atomic<int>* c;
+    ~GateGuard() { c->fetch_sub(1, std::memory_order_release); }
+  } gate_guard{&advancers_active_};
+
+  // Contention shield: serialize the common case so concurrent advancers do
+  // not all re-scan every peer's buffers. Strictly bounded — the shield is
+  // only ever try_locked, and a thread that cannot get it within
+  // kShieldSpinNs proceeds without it; the clock CAS below arbitrates, so
+  // correctness never depends on holding the mutex.
+  std::unique_lock lk(advance_mutex_, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    const uint64_t spin_end = util::now_ns() + kShieldSpinNs;
     while (!lk.try_lock()) {
-      // Someone else is advancing; their tick serves our callers too, but
-      // the clock value they publish may predate our target — keep trying
-      // until the deadline.
-      if (util::now_ns() > abs_deadline_ns) return false;
+      if (clock_->load(std::memory_order_acquire) != e_entry) {
+        // Someone else ticked past our entry value: that tick is exactly
+        // the advance this caller asked for.
+        last_tick_ns_.store(util::now_ns(), std::memory_order_relaxed);
+        return true;
+      }
+      const uint64_t now = util::now_ns();
+      if (abs_deadline_ns != kNoDeadline && now > abs_deadline_ns) {
+        return false;
+      }
+      if (now > spin_end) break;  // wedged holder: go lock-free
       std::this_thread::yield();
     }
   }
+
   const uint64_t e = clock_->load(std::memory_order_acquire);
+  if (e != e_entry) {
+    last_tick_ns_.store(util::now_ns(), std::memory_order_relaxed);
+    return true;
+  }
   // 1. No operation may still be active in the epoch being persisted.
   if (!wait_all(e - 1, abs_deadline_ns)) return false;
   const int hwm = tid_hwm_.load(std::memory_order_acquire);
@@ -816,23 +884,44 @@ bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
   for (int t = 0; t < hwm; ++t) drained += drain_ring(tds_[t], e - 1);
   if (drained > 0) fence_retry();
   // 3. Reclaim payloads whose grace period expired (unless workers do it).
+  // Safe without exclusive ownership: reclaim_list swaps each list out
+  // under td.m (a block is reclaimed once) and skips slots holding epochs
+  // newer than e-2 (a stale advancer that lost a lap sweeps nothing early).
   std::size_t reclaimed = 0;
   if (!opts_.local_free) {
     for (int t = 0; t < hwm; ++t) reclaimed += reclaim_list(tds_[t], e - 2);
   }
-  // 4. Tick and persist the clock; epochs <= e-1 are now durable.
-  clock_->store(e + 1, std::memory_order_release);
+  // 4. Commit the tick with a CAS; epochs <= e-1 are now durable. A lost
+  // CAS means a concurrent advancer ticked e -> e+1 first; it ran the same
+  // wait_all/drain/reclaim pipeline against the same epoch (all idempotent),
+  // so the advance this caller wanted has happened either way. The clock is
+  // persisted on both paths — a true return promises the tick is durable.
+  uint64_t expected = e;
+  const bool won = clock_->compare_exchange_strong(
+      expected, e + 1, std::memory_order_acq_rel, std::memory_order_acquire);
   persist_retry(clock_, sizeof(*clock_));
   fence_retry();
+  // The clock line just flushed held at least e+1 (our CAS or the winner's
+  // larger value) — only now may the durable frontier move. A concurrent
+  // advancer still between its CAS and its persist leaves the frontier
+  // where it was, so nothing downstream (e.g. the server's ACK release)
+  // can treat its DRAM-only tick as durable.
+  bump_durable_clock(e + 1);
   last_tick_ns_.store(util::now_ns(), std::memory_order_relaxed);
-  if constexpr (telemetry::kEnabled) {
-    telemetry::count(telemetry::Ctr::kEpochAdvances);
-    telemetry::count(telemetry::Ctr::kWbBoundary, drained);
-    telemetry::observe(telemetry::Hist::kAdvanceLatency, util::now_ns() - t0);
-    telemetry::observe(telemetry::Hist::kDrainBatch, drained);
-    telemetry::observe(telemetry::Hist::kReclaimBatch, reclaimed);
+  if (won) {
+    if constexpr (telemetry::kEnabled) {
+      telemetry::count(telemetry::Ctr::kEpochAdvances);
+      if (!tls_is_advancer) {
+        telemetry::count(telemetry::Ctr::kCooperativeAdvances);
+      }
+      telemetry::count(telemetry::Ctr::kWbBoundary, drained);
+      telemetry::observe(telemetry::Hist::kAdvanceLatency,
+                         util::now_ns() - t0);
+      telemetry::observe(telemetry::Hist::kDrainBatch, drained);
+      telemetry::observe(telemetry::Hist::kReclaimBatch, reclaimed);
+    }
+    telemetry::trace(telemetry::Ev::kEpochAdvance, e + 1, drained);
   }
-  telemetry::trace(telemetry::Ev::kEpochAdvance, e + 1, drained);
   return true;
 }
 
@@ -852,6 +941,17 @@ void EpochSys::help_persist_up_to(uint64_t e) {
 
 void EpochSys::sync() { (void)sync_for(kNoDeadline); }
 
+std::size_t EpochSys::vacuum_own_payloads(ThreadData& td) {
+  // Only the three most recent slots can hold data; older rings were drained
+  // at their epoch boundary (the clock cannot pass e+1 while to_persist[e]
+  // is still populated).
+  const uint64_t e = clock_->load(std::memory_order_acquire);
+  const uint64_t lo = e > kFirstEpoch + 2 ? e - 2 : kFirstEpoch;
+  std::size_t n = 0;
+  for (uint64_t x = lo; x <= e; ++x) n += drain_ring(td, x);
+  return n;
+}
+
 bool EpochSys::sync_for(uint64_t deadline_ns) {
   if (opts_.transient) return true;
   assert(!my_td().in_op && "sync() may not be called inside an operation");
@@ -866,13 +966,23 @@ bool EpochSys::sync_for(uint64_t deadline_ns) {
     std::atomic<int>* c;
     ~PendingGuard() { c->fetch_sub(1, std::memory_order_relaxed); }
   } guard{&syncs_pending_};
+  // Vacuum: the caller's own pending payloads go to NVM first (nbMontage's
+  // per-thread vacuuming), so the caller's durability never waits on a
+  // helping scan that could stall against a wedged peer's buffers.
+  const std::size_t vacuumed = vacuum_own_payloads(my_td());
+  if (vacuumed > 0) {
+    telemetry::count(telemetry::Ctr::kSyncHelpedPayloads, vacuumed);
+    fence_retry();
+  }
   const uint64_t target = clock_->load(std::memory_order_acquire);
   // Everything up to `target` is durable once the clock reaches target+2.
   // The caller drives the advances itself — including writing back its
-  // peers' buffers — so sync latency is bounded by the longest in-flight
-  // operation, not by the epoch length. With a deadline, a wedged peer that
-  // adoption cannot (or may not) clear makes this return false instead of
-  // hanging.
+  // peers' buffers — so sync latency is bounded by the advance pipeline,
+  // not by the epoch length or the advancer's health. Every true return of
+  // try_advance_epoch implies the clock moved at least one tick past the
+  // value it read at entry, so this loop runs at most twice (DESIGN.md §12).
+  // With a deadline, a wedged peer that adoption cannot (or may not) clear
+  // makes this return false instead of hanging.
   uint64_t advances = 0;
   while (clock_->load(std::memory_order_acquire) < target + 2) {
     help_persist_up_to(clock_->load(std::memory_order_acquire) - 1);
@@ -887,7 +997,16 @@ bool EpochSys::sync_for(uint64_t deadline_ns) {
     ++advances;
   }
   // Fast path: a concurrent advancer had already moved the clock past
-  // target+2 — this caller drove no advance of its own.
+  // target+2 — this caller drove no advance of its own. Either way, the
+  // final tick may have been published (in DRAM) by a peer whose clock
+  // persist is still in flight; persist it here before promising the
+  // caller durability. Idempotent and a single line. Reading the clock
+  // before the persist gives a conservative durable value: the flushed
+  // line content can only be >= what we read.
+  const uint64_t seen = clock_->load(std::memory_order_acquire);
+  persist_retry(clock_, sizeof(*clock_));
+  fence_retry();
+  bump_durable_clock(seen);
   if (advances == 0) {
     telemetry::count(telemetry::Ctr::kSyncFast);
   } else {
@@ -942,23 +1061,60 @@ void* EpochSys::allocate_payload(std::size_t sz) {
 void EpochSys::watchdog_poke(ThreadData& td) {
   const uint64_t last = last_tick_ns_.load(std::memory_order_relaxed);
   const uint64_t now = util::now_ns();
-  if (now <= last || now - last < watchdog_ns_) return;
-  // Per-thread jitter on top of the threshold so a stampede of workers does
-  // not pile onto the advance mutex the instant the clock goes stale.
+  if (now <= last) return;
+  const uint64_t stale = now - last;
+  const uint64_t pace = std::max<uint64_t>(opts_.epoch_length_ns, 1);
+  if (stale < std::min(pace, watchdog_ns_)) return;  // clock is fresh
+  // Per-thread jitter on top of each threshold so a stampede of workers
+  // does not pile onto the clock the instant it lags.
   if (td.wd_rng == 0) {
     td.wd_rng =
         ((now << 1) ^ (static_cast<uint64_t>(util::thread_id() + 1) << 32)) |
         1;
   }
-  const uint64_t jitter = xorshift64(td.wd_rng) % (watchdog_ns_ / 2 + 1);
-  if (now - last < watchdog_ns_ + jitter) return;
-  if (!advancer_alive()) {
-    telemetry::count(telemetry::Ctr::kWatchdogRestarts);
-    telemetry::trace(telemetry::Ev::kWatchdogRestart, now - last);
-    start_advancer();
+  const bool advancer_dead = !advancer_alive();
+
+  // Cooperative pacing (DESIGN.md §12): with no advancer thread ticking,
+  // any worker that sees the clock a full epoch behind drives one advance
+  // itself — the killed pacer costs nothing but the pacing hint. Every
+  // successful advance refreshes last_tick_ns_, so a healthy cooperative-
+  // only configuration never crosses the watchdog_ns_ alarm threshold
+  // below. Skipped when watchdog_restart opts into the thread-replacement
+  // model (pacing would mask the death the restart is meant to repair).
+  if (opts_.cooperative_advance && !opts_.watchdog_restart && advancer_dead &&
+      stale >= pace && stale < watchdog_ns_) {
+    const uint64_t jitter = xorshift64(td.wd_rng) % (pace / 2 + 1);
+    if (stale >= pace + jitter) {
+      try {
+        (void)try_advance_epoch(now + watchdog_ns_);
+      } catch (...) {
+        // PersistError here is the advance's problem, not this operation's;
+        // the caller's own write-backs surface their own errors.
+      }
+    }
+    return;
   }
-  // Also drive the clock cooperatively: the restarted advancer first sleeps
-  // a full epoch, and it may die again immediately (persistent fault).
+
+  if (stale < watchdog_ns_) return;
+  const uint64_t jitter = xorshift64(td.wd_rng) % (watchdog_ns_ / 2 + 1);
+  if (stale < watchdog_ns_ + jitter) return;
+  if (advancer_dead) {
+    if (opts_.watchdog_restart) {
+      telemetry::count(telemetry::Ctr::kWatchdogRestarts);
+      telemetry::trace(telemetry::Ev::kWatchdogRestart, stale);
+      start_advancer();
+    } else {
+      // Telemetry-only alarm: the clock is genuinely stale — neither the
+      // advancer nor cooperative ticking is moving it (e.g. a wedged peer
+      // is blocking wait_all and adoption has not fired). Liveness recovery
+      // is the cooperative advance below, not a replacement thread.
+      telemetry::count(telemetry::Ctr::kWatchdogAlarms);
+      telemetry::trace(telemetry::Ev::kWatchdogRestart, stale);
+    }
+  }
+  // Drive the clock cooperatively either way: a restarted advancer first
+  // sleeps a full epoch (and may die again immediately on a persistent
+  // fault), and in alarm-only mode this IS the recovery path.
   try {
     (void)try_advance_epoch(now + watchdog_ns_);
   } catch (...) {
@@ -971,10 +1127,19 @@ void EpochSys::watchdog_poke(ThreadData& td) {
 
 std::vector<PBlk*> EpochSys::recover(int nthreads) {
   assert(crash_epoch_ >= kFirstEpoch && "recover() requires recover=true");
-  // Keep the advancer (if running) from publishing the clock before the
-  // final persist below: idempotence under re-crash depends on the durable
-  // clock staying at its pre-crash value until classification is complete.
-  std::lock_guard advance_lk(advance_mutex_);
+  // Keep every advancer — background or cooperative — from publishing the
+  // clock before the final persist below: idempotence under re-crash
+  // depends on the durable clock staying at its pre-crash value until
+  // classification is complete. Advances are lock-free, so the freeze is a
+  // gate: block new advances, then drain the in-flight ones.
+  advance_blocked_.store(true, std::memory_order_release);
+  while (advancers_active_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  struct GateRelease {  // re-open on every exit path
+    std::atomic<bool>* b;
+    ~GateRelease() { b->store(false, std::memory_order_release); }
+  } gate_release{&advance_blocked_};
   const uint64_t cutoff = crash_epoch_ - 2;
   nvm::Region* region = ral_->region();
 
@@ -1082,6 +1247,7 @@ std::vector<PBlk*> EpochSys::recover(int nthreads) {
   // same result if a crash lands anywhere inside recovery, because the
   // durable clock — and hence the cutoff — has not moved yet.
   region->persist_fence(clock_, sizeof(*clock_));
+  bump_durable_clock(clock_->load(std::memory_order_relaxed));
   telemetry::trace(telemetry::Ev::kRecoveryPhase, 3,
                    clock_->load(std::memory_order_relaxed));
   region->dump_trace_annex();

@@ -20,14 +20,22 @@
 //      returns the blocks to Ralloc;
 //   4. increments the (persistent) epoch clock and writes it back.
 //
+// The advance itself is cooperative and advancer-free (DESIGN.md §12): any
+// thread may perform steps 1-4, and the clock tick in step 4 is a CAS, so
+// concurrent advancers serialize on the clock word rather than on a lock.
+// The background advancer thread is only a pacing hint — when it dies,
+// workers notice the lagging clock on their next begin_op and tick it
+// themselves, and sync() drives its own advances, so killing the advancer
+// never degrades liveness.
+//
 // A liveness layer (DESIGN.md §8) keeps this pipeline making progress under
 // execution faults: operations stalled past Options::op_deadline_ns are
 // adopted (rolled back and their buffers persisted) by whoever is advancing
-// the clock, workers watchdog the background advancer and restart or replace
-// it when the clock goes stale, transient device errors (nvm::IoError) are
-// retried with exponential backoff before surfacing as PersistError, and
-// allocation failure triggers an emergency advance-and-reclaim pass before
-// giving up with std::bad_alloc.
+// the clock, a staleness watchdog raises a telemetry alarm (and, only when
+// Options::watchdog_restart opts in, restarts the advancer), transient
+// device errors (nvm::IoError) are retried with exponential backoff before
+// surfacing as PersistError, and allocation failure triggers an emergency
+// advance-and-reclaim pass before giving up with std::bad_alloc.
 #pragma once
 
 #include <atomic>
@@ -118,7 +126,15 @@ class EpochSys {
     int max_threads = util::ThreadIdPool::kMaxThreads;
     std::size_t buffer_capacity = 64;  ///< to_persist ring size; 0 = unbounded
     uint64_t epoch_length_ns = 10'000'000;  ///< 10 ms, the paper's default
-    bool start_advancer = true;   ///< run the background epoch advancer
+    /// Run the background epoch advancer. With cooperative_advance it is a
+    /// pacing hint only; without it (false) the clock is driven manually
+    /// (advance_epoch / sync), which is what deterministic tests rely on.
+    bool start_advancer = true;
+    /// Workers that observe the clock lagging a full epoch_length_ns while
+    /// no advancer thread is alive tick it cooperatively from begin_op
+    /// (DESIGN.md §12). Only active when start_advancer is set — manual
+    /// clock configurations must stay deterministic.
+    bool cooperative_advance = true;
     WriteBack write_back = WriteBack::kBuffered;
     bool local_free = false;   ///< workers reclaim their own to_free lists
     bool direct_free = false;  ///< UNSAFE, bench-only: reclaim immediately
@@ -128,12 +144,17 @@ class EpochSys {
     /// Adopt (abort + help-persist) an operation stalled longer than this;
     /// 0 = never adopt. Env MONTAGE_STALL_DEADLINE_MS overrides.
     uint64_t op_deadline_ns = 0;
-    /// Workers treat the clock as stale — restarting the advancer and
-    /// cooperatively advancing — after this long without a tick; 0 = derive
-    /// 10x epoch_length_ns. Env MONTAGE_STALL_WATCHDOG_MS overrides. Only
-    /// active when start_advancer is set (manual-clock configurations drive
-    /// the epoch themselves).
+    /// Workers treat the clock as stale — raising a telemetry alarm
+    /// (epoch.watchdog_alarms) and driving a cooperative advance — after
+    /// this long without a tick; 0 = derive 10x epoch_length_ns. Env
+    /// MONTAGE_STALL_WATCHDOG_MS overrides. Only active when start_advancer
+    /// is set (manual-clock configurations drive the epoch themselves).
     uint64_t watchdog_ns = 0;
+    /// Opt-in: let the watchdog restart a dead advancer thread when the
+    /// clock goes stale. Off by default — cooperative advance keeps the
+    /// clock live without a replacement thread, so the watchdog is a
+    /// telemetry-only alarm (DESIGN.md §12).
+    bool watchdog_restart = false;
     /// Transient write-back failures (nvm::IoError) are retried this many
     /// times, with exponential backoff starting at wb_backoff_ns, before a
     /// PersistError is raised.
@@ -226,9 +247,13 @@ class EpochSys {
 
   // ---- persistence control --------------------------------------------------
 
-  /// Block until everything the calling thread has done is durable: helps
-  /// write back peers' buffers, then drives the clock two epochs forward
-  /// (paper §5.2). Must not be called inside an operation.
+  /// Block until everything the calling thread has done is durable. A
+  /// bounded helping protocol (DESIGN.md §12): vacuum the caller's own
+  /// pending payloads, help write back peers' buffers, and drive at most
+  /// two cooperative epoch advances — never waits on the background
+  /// advancer, so its latency is bounded by the advance pipeline itself
+  /// (plus the adoption deadline when a peer is wedged mid-operation).
+  /// Must not be called inside an operation.
   void sync();
 
   /// Bounded sync: as sync(), but gives up after `deadline_ns` (relative)
@@ -237,7 +262,9 @@ class EpochSys {
   /// kNoDeadline waits forever (equivalent to sync()).
   bool sync_for(uint64_t deadline_ns);
 
-  /// Advance the epoch once (normally invoked by the background thread).
+  /// Advance the epoch once. Safe to call from any thread at any time: the
+  /// tick commits with a CAS on the clock word, so concurrent advances
+  /// collapse into one (a lost CAS means someone else's tick served us).
   void advance_epoch();
 
   /// Current value of the global epoch clock.
@@ -248,8 +275,14 @@ class EpochSys {
   const std::atomic<uint64_t>& epoch_clock() const { return *clock_; }
   /// Epoch of the calling thread's active operation (kNoEpoch if none).
   uint64_t active_op_epoch() const { return my_td().op_epoch; }
-  /// Epochs <= this value are durable.
-  uint64_t persisted_frontier() const { return current_epoch() - 2; }
+  /// Epochs <= this value are durable. Computed from the *durable* clock —
+  /// the highest clock value known persisted AND fenced — not the DRAM
+  /// clock: with cooperative advance, a peer may publish a tick in DRAM and
+  /// stall (e.g. get preempted) before persisting it, and acting on that
+  /// tick as if it were durable would ACK writes a crash can still lose.
+  uint64_t persisted_frontier() const {
+    return durable_clock_.load(std::memory_order_acquire) - 2;
+  }
 
   // ---- advancer lifecycle ----------------------------------------------------
 
@@ -260,7 +293,7 @@ class EpochSys {
 
   /// (Re)start the background advancer. Reaps a dead advancer body first;
   /// a no-op when one is already running or the EpochSys is shutting down.
-  /// The watchdog calls this automatically when the clock goes stale.
+  /// The watchdog calls this only when Options::watchdog_restart opts in.
   void start_advancer();
 
   /// True while the advancer loop is live (its thread has not exited).
@@ -270,7 +303,8 @@ class EpochSys {
 
   /// TEST ONLY: make the advancer thread exit abruptly at its next wake-up,
   /// as if it had been killed — no cleanup, stop flag untouched. Used to
-  /// exercise the watchdog restart path deterministically.
+  /// exercise cooperative advance (and, with Options::watchdog_restart, the
+  /// restart path) deterministically.
   void inject_advancer_kill() {
     advancer_kill_.store(true, std::memory_order_release);
   }
@@ -333,6 +367,11 @@ class EpochSys {
     std::deque<PBlk*> to_persist[4];
     uint64_t ring_epoch[4] = {0, 0, 0, 0};  ///< epoch of each ring's contents
     std::vector<PBlk*> to_free[4];
+    /// Newest epoch ever queued into each to_free slot. reclaim_list(e)
+    /// refuses to sweep a slot holding anything newer than e, which makes
+    /// reclamation safe against a stale cooperative advancer whose epoch
+    /// read lost a full lap to concurrent ticks.
+    uint64_t free_epoch[4] = {0, 0, 0, 0};
     std::vector<PBlk*> pre_allocs;      ///< PNEW-before-BEGIN_OP payloads
     std::vector<PBlk*> per_op_writes;   ///< WriteBack::kPerOp staging
     std::vector<PBlk*> op_new_blocks;   ///< blocks allocated by the active op
@@ -369,6 +408,10 @@ class EpochSys {
   /// oldest entry. Caller holds td.m.
   void ring_push(ThreadData& td, uint64_t e, PBlk* p);
 
+  /// Queue `p` for deferred reclamation under epoch `e`, maintaining the
+  /// slot's free_epoch high-water mark. Caller holds td.m.
+  void queue_free(ThreadData& td, uint64_t e, PBlk* p);
+
   /// Seal the header checksum and write back a single payload (header +
   /// body).
   void persist_block(PBlk* p);
@@ -387,9 +430,20 @@ class EpochSys {
   /// (absolute now_ns() value; kNoDeadline = none) passed first.
   bool wait_all(uint64_t e, uint64_t abs_deadline_ns);
 
-  /// advance_epoch with a deadline: gives up (returning false) if the
-  /// advance mutex or a wedged peer cannot be gotten past in time.
+  /// advance_epoch with a deadline: gives up (returning false) only if a
+  /// wedged peer (or a recovery in progress) cannot be gotten past in time.
+  /// Returns true as soon as the clock has moved past the value observed at
+  /// entry — whether this thread's CAS won or a concurrent advancer's did.
   bool try_advance_epoch(uint64_t abs_deadline_ns);
+
+  /// Drain the calling thread's own to_persist rings (sync vacuuming);
+  /// returns the number of payloads written back.
+  std::size_t vacuum_own_payloads(ThreadData& td);
+
+  /// Raise durable_clock_ to at least `v` (monotonic CAS-max). Call only
+  /// after the clock line holding a value >= v has been written back and
+  /// fenced.
+  void bump_durable_clock(uint64_t v);
 
   /// Cross-thread abort of thread `tid`'s stalled operation (epoch <= upto):
   /// roll it back exactly as abort_op() would and release its tracker slot.
@@ -409,7 +463,10 @@ class EpochSys {
   /// backpressure before letting std::bad_alloc escape.
   void* allocate_payload(std::size_t sz);
 
-  /// Restart-or-drive the clock when it has gone stale (advancer death).
+  /// Cooperative pacing + staleness watchdog, run from begin_op: tick the
+  /// clock when no advancer is pacing it, and raise the telemetry alarm
+  /// (restarting the advancer only if Options::watchdog_restart) when the
+  /// clock has gone watchdog_ns_ stale.
   void watchdog_poke(ThreadData& td);
 
   void help_persist_up_to(uint64_t e);
@@ -425,7 +482,21 @@ class EpochSys {
   std::unique_ptr<ThreadData[]> tds_;
   Mindicator mind_;
   std::atomic<uint64_t>* uid_root_;  ///< persistent uid high-water mark
+  /// Contention shield for concurrent advancers: held via try_lock only,
+  /// never waited on unboundedly — a thread that cannot get it within a
+  /// short spin proceeds lock-free (the clock CAS arbitrates). Purely a
+  /// throughput optimization; correctness never depends on holding it.
   std::mutex advance_mutex_;
+  /// Recovery gate: while set, try_advance_epoch parks before touching any
+  /// shared state, and recover() waits for in-flight advances to drain.
+  std::atomic<bool> advance_blocked_{false};
+  std::atomic<int> advancers_active_{0};  ///< advances past the gate
+  /// Highest clock value known written back AND fenced (DRAM mirror).
+  /// Raised only after the persist+fence that makes a tick durable, so it
+  /// may trail the DRAM clock while a cooperative advancer is between its
+  /// CAS and its clock persist — persisted_frontier() reads this, never
+  /// the DRAM clock (see bump_durable_clock).
+  std::atomic<uint64_t> durable_clock_{0};
   std::atomic<int> syncs_pending_{0};
   /// One past the highest thread id that ever ran an operation; bounds the
   /// tracker/buffer scans in advance_epoch and sync.

@@ -130,11 +130,17 @@ std::atomic<uint64_t>& Region::root(int i) {
 Region::PendingLines& Region::my_pending() { return pending_[my_region_tid()]; }
 
 void Region::bump_event() {
+  // Power already failed: nothing persists for anyone until simulate_crash()
+  // takes the crash image and restores power for recovery. A concurrent
+  // thread that kept committing here could move the durable epoch clock
+  // past write-backs that died with the armed event (see region.hpp).
+  if (frozen_.load(std::memory_order_acquire)) throw CrashPointException{};
   const uint64_t n = events_.fetch_add(1, std::memory_order_relaxed) + 1;
   const uint64_t target = crash_at_.load(std::memory_order_relaxed);
-  // Fires on equality only, so each arming interrupts exactly one event;
-  // later events (unwinding cleanup, recovery) run normally until re-armed.
+  // Fires on equality only — but the freeze above keeps the power off from
+  // this throw until the harness calls simulate_crash().
   if (target != 0 && n == target) {
+    frozen_.store(true, std::memory_order_release);
     telemetry::trace(telemetry::Ev::kCrashDump, n);
     dump_trace_annex();
     throw CrashPointException{};
@@ -239,6 +245,9 @@ void Region::simulate_crash() {
     pend.lines.clear();
   }
   std::memcpy(base_, shadow_.get(), opts_.size);
+  // Power restored: recovery's own persistence events count (and can be
+  // crash-scheduled) normally from here.
+  frozen_.store(false, std::memory_order_release);
 }
 
 void Region::evict_random_lines(uint64_t n, uint64_t seed) {

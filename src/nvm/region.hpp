@@ -179,9 +179,16 @@ class Region {
   // numbering). A harness runs a workload once to learn the event count,
   // then replays it with crash_at_event(n) armed for each n: the Nth event
   // throws CrashPointException before taking effect. Arming an index at or
-  // below the current count never fires. The schedule fires at most once
-  // per arming, so persist/fence calls made while unwinding (or during the
-  // subsequent recovery, until re-armed) proceed normally.
+  // below the current count never fires.
+  //
+  // Firing cuts the power for the whole process, not just the calling
+  // thread: every subsequent persist/fence/evict from ANY thread throws
+  // CrashPointException without counting an event, until simulate_crash()
+  // restores power for recovery. Without the freeze, a concurrent thread
+  // (cooperative epoch advance, a helping sync) could keep committing
+  // events between the armed one and the crash image being taken — e.g.
+  // re-persist the epoch clock over a write-back that died with the
+  // "power", and so acknowledge durability the image does not contain.
   //
   // MONTAGE_CRASH_AT=<n> arms the schedule at construction, for driving
   // whole binaries from the environment.
@@ -258,6 +265,8 @@ class Region {
   int gauge_fences_ = -1;
   std::atomic<uint64_t> events_{0};    // kTracked persistence-event clock
   std::atomic<uint64_t> crash_at_{0};  // 0 = disarmed
+  std::atomic<bool> frozen_{false};    // armed event fired; power stays off
+                                       // until simulate_crash()
   std::atomic<uint64_t> eio_from_{0};  // EIO window start; 0 = disarmed
   std::atomic<uint64_t> eio_count_{0};
 };

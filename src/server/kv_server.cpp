@@ -84,6 +84,10 @@ struct KvServer::Worker {
 KvServer::KvServer(const ServerConfig& cfg, kvstore::MontageMemCache* cache,
                    EpochSys* esys)
     : cfg_(cfg), cache_(cache), esys_(esys) {
+  help_threshold_ns_ = (cfg_.help_threshold_us != 0
+                            ? cfg_.help_threshold_us
+                            : cfg_.sync_interval_us * 8) *
+                       1'000ull;
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) throw std::runtime_error("kv_server: socket() failed");
   int one = 1;
@@ -250,6 +254,21 @@ void KvServer::accept_ready() {
 // ---- syncer -----------------------------------------------------------------
 
 void KvServer::syncer_loop() {
+  if (cfg_.syncer_wedge) {
+    // TEST ONLY: the syncer is "SIGSTOPped" — it exists but never syncs.
+    // ACK durability must come entirely from the caller-helped path.
+    std::unique_lock lk(sync_m_);
+    sync_cv_.wait(lk, [this] {
+      return syncer_stop_.load(std::memory_order_acquire);
+    });
+    return;
+  }
+  // One bounded sync per interval. The bound matters: the syncer must come
+  // back to re-read ack_target_ and notice a drain even when a wedged peer
+  // (adoption pending) stalls an advance, and the workers' caller-helped
+  // path is the guarantee that ACKs drain regardless of this thread's fate.
+  const uint64_t budget_ns =
+      std::max<uint64_t>(cfg_.sync_interval_us * 1'000ull * 10, 50'000'000ull);
   while (!syncer_stop_.load(std::memory_order_acquire)) {
     {
       std::unique_lock lk(sync_m_);
@@ -259,8 +278,9 @@ void KvServer::syncer_loop() {
     const bool draining = draining_.load(std::memory_order_acquire);
     const uint64_t target = ack_target_.load(std::memory_order_acquire);
     if (!draining && target <= esys_->persisted_frontier()) continue;
+    bool synced = false;
     try {
-      esys_->sync();
+      synced = esys_->sync_for(budget_ns);
     } catch (const nvm::CrashPointException&) {
       crash_die();
     } catch (const PersistError& e) {
@@ -271,10 +291,49 @@ void KvServer::syncer_loop() {
                    e.what());
       continue;
     }
+    if (!synced) continue;  // timed out on a wedged peer: retry next interval
     stats_.sync_batches.add();
+    stats_.sync_path_syncer.add();
     telemetry::count(telemetry::Ctr::kSrvSyncBatches);
+    telemetry::count(telemetry::Ctr::kSrvSyncPathSyncer);
     for (auto& w : workers_) w->ring();  // frontier moved: release ACKs
   }
+}
+
+// A worker whose oldest pending ACK has waited past the help threshold stops
+// trusting the syncer thread and drives a bounded sync itself. This is the
+// liveness guarantee behind ACK-after-sync: the syncer is a batching
+// optimization, and a wedged (or killed, or descheduled) syncer only costs
+// latency up to the threshold — never unbounded ACK delay.
+void KvServer::maybe_help_sync(Worker& w) {
+  const uint64_t target = ack_target_.load(std::memory_order_acquire);
+  if (target <= esys_->persisted_frontier()) return;
+  uint64_t oldest = UINT64_MAX;
+  for (auto& [fd, c] : w.conns) {
+    if (c->dead || c->pending.empty()) continue;
+    const PendingResp& p = c->pending.front();
+    if (p.epoch != 0 && p.enq_ns < oldest) oldest = p.enq_ns;
+  }
+  if (oldest == UINT64_MAX) return;
+  const uint64_t now = util::now_ns();
+  if (now - oldest < help_threshold_ns_) return;
+  bool synced = false;
+  try {
+    // Same budget shape as the syncer: generous enough to cover two
+    // cooperative advances, bounded so one wedged peer cannot capture an
+    // event-loop thread (CrashPointException propagates to worker_loop).
+    synced = esys_->sync_for(std::max<uint64_t>(
+        cfg_.sync_interval_us * 1'000ull * 10, 50'000'000ull));
+  } catch (const PersistError& e) {
+    std::fprintf(stderr, "kv_server: helping sync failed (%s), will retry\n",
+                 e.what());
+    return;
+  }
+  if (!synced) return;
+  stats_.sync_batches.add();
+  stats_.sync_path_caller.add();
+  telemetry::count(telemetry::Ctr::kSrvSyncBatches);
+  telemetry::count(telemetry::Ctr::kSrvSyncPathCaller);
 }
 
 // ---- worker -----------------------------------------------------------------
@@ -348,6 +407,9 @@ void KvServer::worker_loop(Worker& w) {
       }
 
       // The frontier may have moved (syncer ring): try releasing everywhere.
+      // If it has not moved and our oldest ACK is past the help threshold,
+      // run the sync ourselves before releasing.
+      maybe_help_sync(w);
       for (auto& [fd, c] : w.conns) {
         if (!c->dead && (!c->pending.empty() || c->out_off < c->out.size() ||
                          c->close_after_flush)) {
@@ -708,6 +770,8 @@ std::string KvServer::stats_payload() {
   stat("stall_closed", stats_.stall_closed.read());
   stat("backpressure_pauses", stats_.backpressure.read());
   stat("sync_batches", stats_.sync_batches.read());
+  stat("sync_path_syncer", stats_.sync_path_syncer.read());
+  stat("sync_path_caller", stats_.sync_path_caller.read());
   stat("get_hits", cs.hits);
   stat("get_misses", cs.misses);
   stat("evictions", cs.evictions);
@@ -721,7 +785,15 @@ std::string KvServer::stats_payload() {
 void KvServer::crash_die() {
   // An armed crash schedule fired mid-persistence: power failed. Commit the
   // persisted-only image to the backing file and die without unwinding the
-  // rest of the process, as a real power failure would.
+  // rest of the process, as a real power failure would. The region is frozen
+  // from the armed event on, so every thread that touches persistence ends
+  // up here — only the first may write the image (a later simulate_crash
+  // would clear the freeze and let stragglers "persist" after power-off);
+  // the rest park until _exit.
+  static std::atomic<bool> dying{false};
+  if (dying.exchange(true, std::memory_order_acq_rel)) {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
   esys_->abort_op();
   nvm::Region::global()->simulate_crash();
   ::_exit(kCrashExitCode);

@@ -5,9 +5,13 @@
 //
 //  * ACK-after-sync — a mutation's response is held in a per-connection FIFO
 //    until the epoch observed after the operation is covered by the
-//    persistence frontier; a dedicated syncer thread runs one batched
-//    EpochSys::sync() per interval on behalf of every connection, so a
-//    SIGKILLed server never acknowledged a write that recovery can lose.
+//    persistence frontier; a dedicated syncer thread runs one batched,
+//    bounded EpochSys::sync_for() per interval on behalf of every
+//    connection, so a SIGKILLed server never acknowledged a write that
+//    recovery can lose. The syncer is an optimization, not a dependency:
+//    a worker whose oldest pending ACK exceeds the help threshold drives a
+//    bounded sync itself (server.sync_path_caller), so a stalled or wedged
+//    syncer can never delay durable ACKs indefinitely.
 //  * Backpressure — per-connection buffered output is bounded; beyond the
 //    bound the server stops reading that socket until the peer drains.
 //  * Overload shedding — connections beyond max_conns are refused with
@@ -57,6 +61,8 @@ struct ServerStats {
   telemetry::ShardedCounter stall_closed;     ///< closed by the write-stall timeout
   telemetry::ShardedCounter backpressure;     ///< reads paused on full output
   telemetry::ShardedCounter sync_batches;     ///< batched acks released by one sync
+  telemetry::ShardedCounter sync_path_syncer; ///< syncs run by the syncer thread
+  telemetry::ShardedCounter sync_path_caller; ///< syncs run by a helping worker
 };
 
 /// The epoll server. Construction binds and listens (so port() is valid
@@ -106,6 +112,7 @@ class KvServer {
   void handle_request(Worker& w, Conn& c, const struct Request& req);
   void enqueue(Worker& w, Conn& c, std::string bytes, uint64_t epoch,
                bool noreply);
+  void maybe_help_sync(Worker& w);
   void release_and_flush(Worker& w, Conn& c);
   void flush_writes(Conn& c);
   void update_interest(Conn& c, int epfd);
@@ -131,6 +138,7 @@ class KvServer {
   std::atomic<bool> draining_{false};  ///< stop accepting, flush and close
   std::atomic<bool> stop_{false};      ///< drain deadline hit: force-close
   std::atomic<uint64_t> ack_target_{0};  ///< max epoch any pending ACK needs
+  uint64_t help_threshold_ns_ = 0;  ///< caller-helped sync trigger (resolved)
   std::atomic<uint64_t> conn_count_{0};
   std::atomic<uint64_t> drain_latency_ns_{0};
   uint32_t next_worker_ = 0;  ///< round-robin dispatch cursor (acceptor only)

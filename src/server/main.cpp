@@ -122,8 +122,15 @@ int main(int argc, char** argv) {
     if (recover) {
       const auto survivors = esys->recover(static_cast<int>(cfg.workers));
       cache->recover(survivors);
-      std::fprintf(stderr, "kv_server: recovered %zu items from %s\n",
-                   cache->size(), ropts.path.c_str());
+      const auto& rr = esys->last_recovery_report();
+      std::fprintf(stderr,
+                   "kv_server: recovered %zu items from %s (payloads %zu, "
+                   "late-epoch %zu, corrupt %zu, crash_epoch %llu, cutoff "
+                   "%llu)\n",
+                   cache->size(), ropts.path.c_str(), rr.recovered,
+                   rr.discarded_late_epoch, rr.quarantined_corrupt,
+                   static_cast<unsigned long long>(rr.crash_epoch),
+                   static_cast<unsigned long long>(rr.cutoff_epoch));
     }
 
     server::KvServer srv(cfg, cache.get(), esys.get());

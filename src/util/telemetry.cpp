@@ -34,6 +34,9 @@ constexpr Meta kCounterMeta[kNumCounters] = {
     {"epoch.sync_timeouts", "calls"},
     {"epoch.adoptions", "ops"},
     {"epoch.watchdog_restarts", "restarts"},
+    {"epoch.watchdog_alarms", "alarms"},
+    {"epoch.cooperative_advances", "advances"},
+    {"epoch.sync_helped_payloads", "blocks"},
     {"epoch.eio_retries", "retries"},
     {"epoch.persist_errors", "errors"},
     {"epoch.old_see_new", "exceptions"},
@@ -60,8 +63,10 @@ constexpr Meta kCounterMeta[kNumCounters] = {
     {"server.stall_closed", "connections"},
     {"server.backpressure_pauses", "pauses"},
     {"server.sync_batches", "batches"},
+    {"server.sync_path_syncer", "syncs"},
+    {"server.sync_path_caller", "syncs"},
 };
-static_assert(static_cast<uint32_t>(Ctr::kSrvSyncBatches) == kNumCounters - 1,
+static_assert(static_cast<uint32_t>(Ctr::kSrvSyncPathCaller) == kNumCounters - 1,
               "counter catalog out of sync with Ctr enum");
 
 constexpr Meta kHistMeta[kNumHists] = {

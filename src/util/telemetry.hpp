@@ -112,6 +112,9 @@ enum class Ctr : uint32_t {
   kSyncTimeouts,
   kAdoptions,
   kWatchdogRestarts,
+  kWatchdogAlarms,
+  kCooperativeAdvances,
+  kSyncHelpedPayloads,
   kEioRetries,
   kPersistErrors,
   kOsnExceptions,
@@ -138,6 +141,8 @@ enum class Ctr : uint32_t {
   kSrvStallClosed,
   kSrvBackpressure,
   kSrvSyncBatches,
+  kSrvSyncPathSyncer,
+  kSrvSyncPathCaller,
   kCount,
 };
 

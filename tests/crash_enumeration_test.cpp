@@ -191,11 +191,18 @@ TEST(CrashSchedule, EventCounterAndArming) {
   r.crash_at_event(4);
   r.persist(a, 8);  // event 3
   EXPECT_THROW(r.persist(a, 8), nvm::CrashPointException);  // event 4 fires
-  // Fire-at-most-once: the very next event runs normally (recovery and
-  // unwinding cleanup proceed until the harness re-arms).
-  EXPECT_NO_THROW(r.fence());
-  EXPECT_EQ(r.persistence_events(), 5u);
+  // Power stays off for the whole process: later persistence attempts — from
+  // any thread — throw without counting, so a straggler cannot commit
+  // durability between the armed event and the crash image being taken.
+  EXPECT_THROW(r.fence(), nvm::CrashPointException);
+  EXPECT_THROW(r.persist(a, 8), nvm::CrashPointException);
+  EXPECT_EQ(r.persistence_events(), 4u);
+  // Disarming alone does not restore power; taking the crash image does.
   r.clear_crash_schedule();
+  EXPECT_THROW(r.persist(a, 8), nvm::CrashPointException);
+  r.simulate_crash();
+  EXPECT_NO_THROW(r.fence());  // event 5: recovery's events count normally
+  EXPECT_EQ(r.persistence_events(), 5u);
   EXPECT_NO_THROW(r.persist(a, 8));
 }
 
@@ -234,6 +241,57 @@ TEST(CrashEnumeration, SweepEveryPersistenceEvent) {
     ASSERT_NO_THROW(survivors = env.crash_and_recover(1, no_advancer()))
         << "recovery aborted for crash point " << n;
     check_prefix_consistent(env, survivors, step_epochs, n);
+  }
+}
+
+TEST(CrashEnumeration, SweepInsideCooperativeAdvance) {
+  // The cooperative advance (DESIGN.md §12) runs helper write-backs and
+  // reclamation before committing the tick with a CAS and only then
+  // persisting the clock. Crash at EVERY event inside one advance — helper
+  // mid-writeback, reclamation invalidations, and the window where the CAS
+  // has published the tick in DRAM but the clock persist has not landed —
+  // and prove recovery is prefix-consistent and idempotent at each point.
+  //
+  // Pass 1: measure the event window of one trailing advance.
+  uint64_t before, after;
+  {
+    PersistentEnv env(kRegionSize, no_advancer());
+    Structures s(env.esys());
+    run_workload(s, env.esys());
+    before = env.region()->persistence_events();
+    env.esys()->advance_epoch();
+    after = env.region()->persistence_events();
+  }
+  ASSERT_GT(after, before) << "an advance issued no persistence events";
+
+  // Pass 2: one replay per in-advance event index.
+  for (uint64_t n = before + 1; n <= after; ++n) {
+    PersistentEnv env(kRegionSize, no_advancer());
+    env.region()->crash_at_event(n);
+    Structures s(env.esys());
+    auto step_epochs = run_workload(s, env.esys());
+    try {
+      env.esys()->advance_epoch();
+    } catch (const nvm::CrashPointException&) {
+      // Crashed inside the advance, as armed.
+    }
+    env.region()->clear_crash_schedule();
+    std::vector<PBlk*> survivors;
+    ASSERT_NO_THROW(survivors = env.crash_and_recover(1, no_advancer()))
+        << "recovery aborted for in-advance crash point " << n;
+    check_prefix_consistent(env, survivors, step_epochs, n);
+
+    // Idempotence: crashing again right after recovery (no new operations)
+    // must land on the identical survivor set.
+    std::multiset<uint64_t> uids1;
+    for (PBlk* b : survivors) uids1.insert(b->blk_uid());
+    std::vector<PBlk*> survivors2;
+    ASSERT_NO_THROW(survivors2 = env.crash_and_recover(1, no_advancer()))
+        << "re-recovery aborted for in-advance crash point " << n;
+    std::multiset<uint64_t> uids2;
+    for (PBlk* b : survivors2) uids2.insert(b->blk_uid());
+    EXPECT_EQ(uids2, uids1)
+        << "recovery not idempotent at in-advance crash point " << n;
   }
 }
 

@@ -4,12 +4,15 @@
 // arbitrary crash points.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "montage/recoverable.hpp"
 #include "tests/test_env.hpp"
 #include "util/rand.hpp"
+#include "util/timing.hpp"
 
 namespace montage {
 namespace {
@@ -226,6 +229,58 @@ TEST_P(CrashFuzzTest, RecoveredSetIsDuplicateFreeAndPlausible) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzzTest, ::testing::Range(0, 12));
+
+/// Regression (DESIGN.md §12): every cooperative advance refreshes the
+/// staleness timestamp the watchdog reads, so a HEALTHY cooperative-only
+/// configuration — advancer dead, workers pacing the clock themselves —
+/// must never cross the alarm threshold, let alone restart anything. Before
+/// the fix, only the background advancer's ticks refreshed the timestamp
+/// and a cooperative-only run alarmed (or restarted) spuriously on every
+/// watchdog_ns window.
+TEST(CooperativeWatchdog, HealthyCooperativePacingNeverAlarms) {
+  EpochSys::Options o;
+  o.epoch_length_ns = 1'000'000;  // 1 ms pace
+  o.watchdog_ns = 8'000'000;      // alarm after 8 ms without any tick
+  PersistentEnv env(64 << 20, o);
+  EpochSys* es = env.esys();
+  ASSERT_FALSE(es->options().watchdog_restart);
+  telemetry::reset_metrics();
+
+  es->inject_advancer_kill();
+  while (es->advancer_alive()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const uint64_t c0 = es->current_epoch();
+
+  // ~80 ms of healthy traffic: ten full watchdog windows. Each begin_op
+  // runs watchdog_poke; the pacing branch keeps the clock (and with it the
+  // staleness timestamp) fresh, so the alarm path must never fire.
+  const uint64_t end = util::now_ns() + 80'000'000ull;
+  while (util::now_ns() < end) {
+    es->begin_op();
+    auto* p = es->pnew<KvPayload>();
+    p->set_key(1);
+    p->set_val(2);
+    es->pdelete(p);
+    es->end_op();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  EXPECT_GE(es->current_epoch(), c0 + 3) << "cooperative pacing stalled";
+  EXPECT_FALSE(es->advancer_alive()) << "something restarted the advancer";
+  if (telemetry::kEnabled) {
+    uint64_t restarts = 0, alarms = 0, coop = 0;
+    for (const auto& c : telemetry::counters_snapshot()) {
+      if (std::string(c.name) == "epoch.watchdog_restarts") restarts = c.value;
+      if (std::string(c.name) == "epoch.watchdog_alarms") alarms = c.value;
+      if (std::string(c.name) == "epoch.cooperative_advances") coop = c.value;
+    }
+    EXPECT_EQ(restarts, 0u) << "healthy cooperative config restarted";
+    EXPECT_EQ(alarms, 0u) << "healthy cooperative config alarmed";
+    EXPECT_GE(coop, 3u);
+  }
+  EXPECT_TRUE(es->sync_for(5'000'000'000ull));
+}
 
 }  // namespace
 }  // namespace montage

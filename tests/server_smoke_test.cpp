@@ -403,6 +403,38 @@ TEST(ServerSmoke, CrashScheduleInServerProcess) {
   srv.wait_exit();
 }
 
+TEST(ServerSmoke, WedgedSyncerAcksDrainViaCallerHelp) {
+  // The syncer thread is wedged (MONTAGE_SERVER_SYNCER_WEDGE, as if it had
+  // been SIGSTOPped) and the caller-help threshold is dialed down: every
+  // durable ACK must be released by workers driving bounded syncs
+  // themselves. A stalled syncer is a latency event, never a liveness one.
+  const std::string dir = test_dir();
+  ServerHandle srv = start_server(dir, {{"MONTAGE_SERVER_REGION_MB", "64"},
+                                        {"MONTAGE_SERVER_SYNCER_WEDGE", "1"},
+                                        {"MONTAGE_SERVER_HELP_US", "2000"}});
+  ASSERT_GT(srv.port, 0);
+  const int fd = connect_to(srv.port);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::string burst;
+    for (int i = 0; i < 8; ++i) {
+      burst += "set w" + std::to_string(batch) + "_" + std::to_string(i) +
+               " 0 0 3\r\nval\r\n";
+    }
+    ASSERT_TRUE(send_all(fd, burst));
+    const std::string resp = recv_until(fd, "STORED\r\n", 8);
+    ASSERT_EQ(count_of(resp, "STORED\r\n"), 8)
+        << "ACKs did not drain with the syncer wedged: " << resp;
+  }
+  ASSERT_TRUE(send_all(fd, "stats\r\n"));
+  const std::string stats = recv_until(fd, "END\r\n", 1);
+  EXPECT_GE(stat_value(stats, "sync_path_caller"), 1u) << stats;
+  EXPECT_EQ(stat_value(stats, "sync_path_syncer"), 0u) << stats;
+  ::close(fd);
+  ASSERT_EQ(::kill(srv.pid, SIGTERM), 0);
+  const int st = srv.wait_exit();
+  EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0) << st;
+}
+
 TEST(ServerSmoke, OverloadShedsInsteadOfQueueing) {
   const std::string dir = test_dir();
   ServerHandle srv = start_server(

@@ -1,6 +1,8 @@
-// Liveness under execution faults (DESIGN.md §8): a thread parked mid-op is
-// adopted and the epoch clock keeps moving; a killed advancer is noticed and
-// restarted by the workers' watchdog; sync(deadline) returns instead of
+// Liveness under execution faults (DESIGN.md §8, §12): a thread parked
+// mid-op is adopted and the epoch clock keeps moving; a killed advancer
+// costs nothing — workers tick the clock cooperatively and sync() drives
+// its own bounded advances (the watchdog restarts the thread only when
+// Options::watchdog_restart opts in); sync(deadline) returns instead of
 // hanging on a wedged peer; transient EIO is retried and, when it will not
 // clear, surfaces as a typed PersistError; allocation failure triggers an
 // emergency advance-and-reclaim pass before giving up.
@@ -14,6 +16,7 @@
 
 #include "ds/montage_stack.hpp"
 #include "tests/test_env.hpp"
+#include "util/timing.hpp"
 
 namespace montage {
 namespace {
@@ -98,6 +101,7 @@ TEST(ThreadFailure, WatchdogRestartsKilledAdvancer) {
   EpochSys::Options o;
   o.epoch_length_ns = 1'000'000;  // 1 ms epochs
   o.watchdog_ns = 5'000'000;      // stale after 5 ms without a tick
+  o.watchdog_restart = true;      // opt into the thread-replacement model
   PersistentEnv env(64 << 20, o);
   EpochSys* es = env.esys();
   ASSERT_TRUE(es->advancer_alive());
@@ -116,6 +120,80 @@ TEST(ThreadFailure, WatchdogRestartsKilledAdvancer) {
   EXPECT_TRUE(es->advancer_alive());
   EXPECT_GE(es->current_epoch(), c0 + 3);
   EXPECT_TRUE(es->sync_for(5'000'000'000ull));
+}
+
+TEST(ThreadFailure, CooperativeTickAfterAdvancerKill) {
+  // The advancer dies and is NEVER restarted (watchdog_restart defaults to
+  // false): workers observing the lagging clock from begin_op tick it
+  // themselves, so the killed pacer costs nothing but the pacing hint.
+  EpochSys::Options o;
+  o.epoch_length_ns = 1'000'000;  // 1 ms epochs
+  o.watchdog_ns = 100'000'000;    // alarm far away: pacing must not need it
+  PersistentEnv env(64 << 20, o);
+  EpochSys* es = env.esys();
+  ASSERT_TRUE(es->advancer_alive());
+  ASSERT_FALSE(es->options().watchdog_restart);
+  telemetry::reset_metrics();  // isolate this test's restart/advance counts
+
+  es->inject_advancer_kill();
+  ASSERT_TRUE(eventually([&] { return !es->advancer_alive(); }));
+  const uint64_t c0 = es->current_epoch();
+
+  EXPECT_TRUE(eventually([&] {
+    es->begin_op();
+    es->end_op();
+    return es->current_epoch() >= c0 + 3;
+  }));
+  // Cooperative advance, not a resurrected thread, moved the clock.
+  EXPECT_FALSE(es->advancer_alive());
+  if (telemetry::kEnabled) {
+    uint64_t coop = 0, restarts = 0;
+    for (const auto& c : telemetry::counters_snapshot()) {
+      if (std::string(c.name) == "epoch.cooperative_advances") coop = c.value;
+      if (std::string(c.name) == "epoch.watchdog_restarts") restarts = c.value;
+    }
+    EXPECT_GE(coop, 3u);
+    EXPECT_EQ(restarts, 0u);
+  }
+}
+
+TEST(ThreadFailure, BoundedSyncWithDeadAdvancer) {
+  // sync() is a helping protocol: with the advancer killed and nobody else
+  // running operations, sync_for must still reach durability inside its
+  // documented bound — at most two cooperative advances of its own.
+  EpochSys::Options o;
+  o.epoch_length_ns = 1'000'000;
+  PersistentEnv env(64 << 20, o);
+  EpochSys* es = env.esys();
+
+  es->inject_advancer_kill();
+  ASSERT_TRUE(eventually([&] { return !es->advancer_alive(); }));
+
+  for (uint64_t v = 0; v < 4; ++v) {
+    es->begin_op();
+    Payload* p = es->pnew<Payload>(v, v + 1);
+    p->set_blk_tag(kTag);
+    es->end_op();
+  }
+  const uint64_t c0 = es->current_epoch();
+  const uint64_t s0 = util::now_ns();
+  EXPECT_TRUE(es->sync_for(2'000'000'000ull));
+  const uint64_t sync_ns = util::now_ns() - s0;
+  // Generous wall-clock ceiling (the protocol bound is two advance
+  // pipelines; 500 ms only fails if sync actually waited on a pacer).
+  EXPECT_LT(sync_ns, 500'000'000ull) << "sync waited on a dead advancer";
+  EXPECT_GE(es->current_epoch(), c0 + 2) << "sync did not drive the clock";
+  EXPECT_FALSE(es->advancer_alive());
+
+  auto survivors = env.crash_and_recover();
+  std::set<uint64_t> vals;
+  for (PBlk* b : survivors) {
+    auto* p = static_cast<Payload*>(b);
+    if (p->blk_tag() == kTag) vals.insert(p->get_unsafe_val());
+  }
+  for (uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(vals.count(v), 1u) << "synced payload " << v << " lost";
+  }
 }
 
 TEST(ThreadFailure, BoundedSyncTimesOutOnWedgedPeer) {
