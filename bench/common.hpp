@@ -196,6 +196,7 @@ struct LatencyStats {
 /// the sampled per-op latency distribution across all workers.
 struct ThroughputResult {
   double mops = 0.0;
+  uint64_t ops = 0;
   LatencyStats latency;
 };
 
@@ -272,6 +273,7 @@ inline ThroughputResult run_throughput(
     }
   }
   r.mops = static_cast<double>(total) / elapsed / 1e6;
+  r.ops = total;
   return r;
 }
 
@@ -301,6 +303,23 @@ inline void emit_result(const std::string& figure, const std::string& series,
   emit(figure, series + "/p90_ns", x, static_cast<double>(p.p90));
   emit(figure, series + "/p99_ns", x, static_cast<double>(p.p99));
   emit(figure, series + "/p999_ns", x, static_cast<double>(p.p999));
+}
+
+/// Emit `<series>/lines_per_op` — cache lines flushed per completed op over
+/// the measurement window (the persistence-cost axis of the coalescing
+/// write-back buffers, DESIGN.md §13). The "lines_per_op" suffix marks the
+/// series lower-is-better for bench/compare; unlike the duration-suffixed
+/// latency series it is a persistence-cost rate and stays gated under
+/// --rates-only. Series that flushed nothing (transient baselines) emit no
+/// row.
+inline void emit_lines_per_op(const std::string& figure,
+                              const std::string& series, const std::string& x,
+                              const ThroughputResult& r, uint64_t lines_before,
+                              uint64_t lines_after) {
+  if (r.ops == 0 || lines_after <= lines_before) return;
+  emit(figure, series + "/lines_per_op", x,
+       static_cast<double>(lines_after - lines_before) /
+           static_cast<double>(r.ops));
 }
 
 template <std::size_t N>

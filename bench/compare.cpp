@@ -5,11 +5,16 @@
 //
 // For every series present in both files, points are matched by x and the
 // worst relative delta decides the verdict. Series whose name ends in
-// `_ns`, `_ms`, or `_s` are latencies/durations (lower is better); all
-// others are rates (higher is better). --rates-only excludes the duration
-// series from gating entirely — tail percentiles from short smoke runs sit
-// on a handful of power-of-two-bucket samples, where a single bucket shift
-// already reads as a 2x change, so CI smoke gates compare throughput only.
+// `_ns`, `_ms`, or `_s` are latencies/durations (lower is better), and
+// series ending in `lines_per_op` are persistence costs (also lower is
+// better); all others are rates (higher is better). --rates-only excludes
+// the duration series from gating entirely — tail percentiles from short
+// smoke runs sit on a handful of power-of-two-bucket samples, where a
+// single bucket shift already reads as a 2x change, so CI smoke gates
+// compare throughput only. `lines_per_op` series STAY gated under
+// --rates-only: lines flushed per op is a deterministic count ratio, not a
+// bucketed tail, and it is the axis the coalescing write-back buffers
+// (DESIGN.md §13) must never regress.
 // Verdicts:
 //   OK        within the noise threshold
 //   IMPROVED  moved beyond the threshold in the good direction
@@ -46,13 +51,26 @@ struct Series {
 
 using SeriesMap = std::map<std::string, Series>;
 
-/// True when the series measures time (lower values are better).
+bool ends_with(const std::string& name, const char* suf) {
+  const std::size_t n = std::strlen(suf);
+  return name.size() >= n && name.compare(name.size() - n, n, suf) == 0;
+}
+
+/// True when the series measures time — excluded by --rates-only.
+bool duration_series(const std::string& name) {
+  return ends_with(name, "_ns") || ends_with(name, "_ms") ||
+         ends_with(name, "_s");
+}
+
+/// True when the series measures cache lines flushed per operation — lower
+/// is better, and NOT excluded by --rates-only (see the header comment).
+bool lines_series(const std::string& name) {
+  return ends_with(name, "lines_per_op");
+}
+
+/// True when smaller values are the good direction for this series.
 bool lower_is_better(const std::string& name) {
-  auto ends_with = [&](const char* suf) {
-    const std::size_t n = std::strlen(suf);
-    return name.size() >= n && name.compare(name.size() - n, n, suf) == 0;
-  };
-  return ends_with("_ns") || ends_with("_ms") || ends_with("_s");
+  return duration_series(name) || lines_series(name);
 }
 
 /// Load a BENCH JSON file and flatten benches.*.series into one map keyed
@@ -121,7 +139,8 @@ int main_impl(int argc, char** argv) {
           "[--rates-only]\n"
           "Compares two orchestrator BENCH files; exits 1 iff any series\n"
           "regressed beyond the threshold (relative), 2 on errors.\n"
-          "--rates-only skips duration (_ns/_ms/_s) series.\n");
+          "--rates-only skips duration (_ns/_ms/_s) series; lines_per_op\n"
+          "series stay gated (lower is better).\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "compare: unknown flag '%s' (try --help)\n",
@@ -153,7 +172,7 @@ int main_impl(int argc, char** argv) {
   std::vector<Verdict> verdicts;
   for (const auto& [key, old_series] : olds) {
     const bool lower = lower_is_better(key);
-    if (rates_only && lower) continue;
+    if (rates_only && duration_series(key)) continue;
     auto it = news.find(key);
     if (it == news.end()) {
       verdicts.push_back({key, "GONE", 0.0, 0});
@@ -178,7 +197,7 @@ int main_impl(int argc, char** argv) {
     verdicts.push_back(v);
   }
   for (const auto& [key, series] : news) {
-    if (rates_only && lower_is_better(key)) continue;
+    if (rates_only && duration_series(key)) continue;
     if (olds.find(key) == olds.end()) {
       verdicts.push_back({key, "NEW", 0.0,
                           static_cast<int>(series.points.size())});

@@ -64,11 +64,17 @@ void run_series(const Config& cfg, const std::string& name,
         env.esys()->inject_advancer_kill();
       });
     }
+    const uint64_t lines0 = nvm::Region::global()->stats().lines_flushed;
     const ThroughputResult r = run_map_mix(a, cfg.max_threads, cfg.seconds, 0,
                                            1, 1, buckets, value,
                                            /*sync_every=*/k);
+    const uint64_t lines1 = nvm::Region::global()->stats().lines_flushed;
     if (killer.joinable()) killer.join();
     emit_result("fig9", name, std::to_string(k), r);
+    // Montage series only — see fig8_payload.cpp for the rationale.
+    if (esys_opts != nullptr && !esys_opts->transient) {
+      emit_lines_per_op("fig9", name, std::to_string(k), r, lines0, lines1);
+    }
     if (esys_opts != nullptr) emit_sync_percentiles(name, std::to_string(k));
   }
 }
@@ -76,6 +82,8 @@ void run_series(const Config& cfg, const std::string& name,
 void main_impl() {
   const Config cfg = Config::from_env();
   EpochSys::Options cb;  // defaults: 64-entry buffers
+  EpochSys::Options nc;  // coalescing disabled: the A/B for lines_per_op
+  nc.coalesce = false;
   EpochSys::Options dw;
   dw.write_back = WriteBack::kPerOp;
   EpochSys::Options transient_opts;
@@ -85,6 +93,7 @@ void main_impl() {
   run_series<TransientMapAdapter<Val, ds::NvmMem>>(cfg, "NVM(T)", nullptr);
   run_series<MontageMapAdapter<Val>>(cfg, "Montage(T)", &transient_opts);
   run_series<MontageMapAdapter<Val>>(cfg, "Montage(cb)", &cb);
+  run_series<MontageMapAdapter<Val>>(cfg, "Montage(cb-nocoalesce)", &nc);
   run_series<MontageMapAdapter<Val>>(cfg, "Montage(cb-kill)", &cb,
                                      /*kill_advancer=*/true);
   run_series<MontageMapAdapter<Val>>(cfg, "Montage(dw)", &dw);

@@ -31,7 +31,15 @@ OFF_DIR=build-telemetry-off
 cmake -B "$OFF_DIR" -S . -DMONTAGE_TELEMETRY=OFF
 cmake --build "$OFF_DIR" -j "$(nproc)"
 ctest --test-dir "$OFF_DIR" --output-on-failure -j "$(nproc)" \
-  -R "Telemetry|ShardedCounter|Region|EpochBasic|PerfCounters|ServerConfig|Protocol|ServerSmoke" \
+  -R "Telemetry|ShardedCounter|Region|EpochBasic|PerfCounters|ServerConfig|Protocol|ServerSmoke|Coalesce" \
+  "$@"
+
+# Coalescing kill-switch leg: MONTAGE_WB_COALESCE=0 forces one flush per
+# payload on the telemetry-OFF build — the most-stripped configuration must
+# still hold the durability guarantees on the fallback write-back path.
+MONTAGE_WB_COALESCE=0 ctest --test-dir "$OFF_DIR" --output-on-failure \
+  -j "$(nproc)" \
+  -R "Region|EpochBasic|Coalesce" \
   "$@"
 
 # Cooperative-advance leg: the advancer-free tick path is the raciest code
@@ -50,16 +58,19 @@ ctest --test-dir "$COOP_DIR" --output-on-failure -j "$(nproc)" \
 # deliberately generous and only throughput series are gated
 # (--rates-only): at 20 ms per point this proves the pipeline and catches
 # order-of-magnitude cliffs, not 10% drifts — and tail percentiles from a
-# handful of samples are pure noise at this scale.
+# handful of samples are pure noise at this scale. lines_per_op series
+# (fig8/fig9) stay gated even under --rates-only: flushes per op are
+# deterministic counts, and a regression there means the coalescing
+# write-back path stopped deduplicating.
 if [[ "${MONTAGE_SMOKE_PERF:-0}" == "1" ]]; then
   PERF_DIR=build-smoke-perf
   cmake -B "$PERF_DIR" -S .
   cmake --build "$PERF_DIR" -j "$(nproc)" --target orchestrator compare \
-    fig4_design_hashmap fig9_sync fig15_server montage_kv_server
+    fig4_design_hashmap fig8_payload fig9_sync fig15_server montage_kv_server
   MONTAGE_BENCH_SECONDS=${MONTAGE_BENCH_SECONDS:-0.02} \
   MONTAGE_BENCH_THREADS=${MONTAGE_BENCH_THREADS:-2} \
   MONTAGE_BENCH_SCALE=${MONTAGE_BENCH_SCALE:-0.002} \
-    "$PERF_DIR/bench/orchestrator" --figures=4,9,15 \
+    "$PERF_DIR/bench/orchestrator" --figures=4,8,9,15 \
     --out="$PERF_DIR/BENCH_smoke.json"
   "$PERF_DIR/bench/compare" results/BENCH_baseline.json \
     "$PERF_DIR/BENCH_smoke.json" --threshold=0.90 --rates-only

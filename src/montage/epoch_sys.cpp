@@ -88,6 +88,12 @@ EpochSys::EpochSys(ralloc::Ralloc* ral, const Options& opts, bool recover)
       ms != 0) {
     opts_.watchdog_ns = ms * 1'000'000;
   }
+  // Kill switch for the coalescing write-back buffers (DESIGN.md §13):
+  // MONTAGE_WB_COALESCE=0 restores one flush per payload, for A/B
+  // measurement of the lines-flushed win and for bisecting suspected
+  // coalescing bugs.
+  opts_.coalesce = util::env_u64_checked("MONTAGE_WB_COALESCE",
+                                         opts_.coalesce ? 1 : 0) != 0;
   watchdog_ns_ = opts_.watchdog_ns != 0
                      ? opts_.watchdog_ns
                      : std::max<uint64_t>(10 * opts_.epoch_length_ns,
@@ -323,7 +329,13 @@ void EpochSys::end_op() {
     try {
       if (opts_.write_back == WriteBack::kPerOp && !td.per_op_writes.empty()) {
         telemetry::count(telemetry::Ctr::kWbDirect, td.per_op_writes.size());
-        for (PBlk* p : td.per_op_writes) persist_block(p);
+        if (opts_.coalesce) {
+          // One flush per distinct dirty line for the whole op's batch.
+          persist_blocks_coalesced(td.per_op_writes.data(),
+                                   td.per_op_writes.size(), nullptr);
+        } else {
+          for (PBlk* p : td.per_op_writes) persist_block(p);
+        }
         fence_retry();
       } else if (opts_.write_back == WriteBack::kImmediate && td.wrote) {
         fence_retry();
@@ -413,14 +425,20 @@ void EpochSys::abort_op() noexcept {
       // crash before that boundary has cutoff < e, which discards epoch-e
       // blocks anyway.
       auto& ring = td.to_persist[e % 4];
+      auto& members = td.ring_members[e % 4];
       for (PBlk* p : td.op_new_blocks) {
         p->magic_ = kPBlkDead;
-        if (std::find(ring.begin(), ring.end(), p) == ring.end()) {
+        const bool present = opts_.coalesce
+                                 ? members.contains(p)
+                                 : std::find(ring.begin(), ring.end(), p) !=
+                                       ring.end();
+        if (!present) {
           // Re-enter the write-back ring, past its capacity bound if need
           // be: bounded overflow would write back (an event that could
           // throw), and the excess drains at the next epoch boundary.
           if (ring.empty()) td.ring_epoch[e % 4] = e;
           ring.push_back(p);
+          if (opts_.coalesce) members.insert(p);
         }
         // Queue for the normal two-epoch-deferred reclamation, which
         // persists the dead header before the memory is reused.
@@ -544,7 +562,16 @@ void EpochSys::register_write_locked(ThreadData& td, PBlk* p) {
       td.wrote = true;
       break;
     case WriteBack::kPerOp:
-      if (td.per_op_writes.empty() || td.per_op_writes.back() != p) {
+      if (opts_.coalesce) {
+        // Full-batch dedup: the op's staging list stays small (it flushes
+        // at END_OP), so a linear scan beats a side set here.
+        if (std::find(td.per_op_writes.begin(), td.per_op_writes.end(), p) ==
+            td.per_op_writes.end()) {
+          td.per_op_writes.push_back(p);
+        } else {
+          telemetry::count(telemetry::Ctr::kWbDedupHits);
+        }
+      } else if (td.per_op_writes.empty() || td.per_op_writes.back() != p) {
         td.per_op_writes.push_back(p);
       }
       break;
@@ -615,8 +642,84 @@ void EpochSys::persist_block(PBlk* p) {
   // Seal the header immediately before write-back: recovery recomputes this
   // checksum and quarantines any header that reached NVM some other way
   // (torn across a line boundary, or evicted before it was ever sealed).
+  if (opts_.coalesce) {
+    // Route even single-payload write-backs (kImmediate, ring overflow)
+    // through the line-granularity path so the crash-schedule engine counts
+    // one persistence event per line everywhere.
+    PBlk* one = p;
+    persist_blocks_coalesced(&one, 1, nullptr);
+    return;
+  }
   p->blk_seal();
   persist_retry(p, p->size_);
+}
+
+std::size_t EpochSys::persist_blocks_coalesced(PBlk* const* blocks,
+                                               std::size_t n,
+                                               std::vector<uint64_t>* filter) {
+  if (n == 0) return 0;
+  nvm::Region* region = ral_->region();
+  // Seal BEFORE gathering any line: a cache line shared by two payloads is
+  // flushed once for both, so every header covering a gathered line must
+  // already carry its checksum when the flush is issued. (blk_seal is
+  // idempotent — re-sealing an already-sealed header is a no-op.)
+  std::vector<uint64_t> lines;
+  for (std::size_t i = 0; i < n; ++i) {
+    PBlk* p = blocks[i];
+    p->blk_seal();
+    const uint64_t first = region->line_index(p);
+    const uint64_t last = region->line_index(
+        reinterpret_cast<const char*>(p) + p->size_ - 1);
+    for (uint64_t l = first; l <= last; ++l) lines.push_back(l);
+  }
+  const std::size_t refs = lines.size();
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  if (filter != nullptr && !filter->empty()) {
+    // Drop lines the boundary already flushed (filter is sorted).
+    std::vector<uint64_t> fresh;
+    fresh.reserve(lines.size());
+    std::set_difference(lines.begin(), lines.end(), filter->begin(),
+                        filter->end(), std::back_inserter(fresh));
+    lines.swap(fresh);
+  }
+  persist_lines_retry(lines.data(), lines.size());
+  if (filter != nullptr && !lines.empty()) {
+    // Only lines that actually flushed enter the filter — a batch that threw
+    // above left the filter untouched, so its retry re-flushes everything.
+    std::vector<uint64_t> merged;
+    merged.reserve(filter->size() + lines.size());
+    std::merge(filter->begin(), filter->end(), lines.begin(), lines.end(),
+               std::back_inserter(merged));
+    filter->swap(merged);
+  }
+  telemetry::count(telemetry::Ctr::kWbCoalesced, refs - lines.size());
+  return lines.size();
+}
+
+void EpochSys::persist_lines_retry(const uint64_t* lines, std::size_t n) {
+  if (n == 0) return;
+  uint64_t backoff = std::max<uint64_t>(opts_.wb_backoff_ns, 1);
+  for (uint64_t attempt = 1;; ++attempt) {
+    try {
+      // A retry reissues the WHOLE batch: lines that made it into the
+      // write-pending queue before the fault are re-appended, which is
+      // harmless (the next fence commits each pending entry once per
+      // appearance).
+      ral_->region()->persist_lines(lines, n);
+      return;
+    } catch (const nvm::IoError&) {
+      if (attempt > opts_.wb_max_retries) {
+        telemetry::count(telemetry::Ctr::kPersistErrors);
+        telemetry::trace(telemetry::Ev::kPersistError, attempt);
+        throw PersistError(attempt);
+      }
+      telemetry::count(telemetry::Ctr::kEioRetries);
+      telemetry::trace(telemetry::Ev::kEioRetry, attempt);
+      util::spin_for_ns(backoff);
+      backoff = std::min(backoff * 2, kMaxBackoffNs);
+    }
+  }
 }
 
 void EpochSys::persist_retry(const void* addr, std::size_t len) {
@@ -664,26 +767,50 @@ void EpochSys::fence_retry() {
 
 void EpochSys::ring_push(ThreadData& td, uint64_t e, PBlk* p) {
   auto& ring = td.to_persist[e % 4];
-  if (!ring.empty() && ring.back() == p) return;  // hot payload, in place
+  if (opts_.coalesce) {
+    // Registration dedup: the set view makes "already buffered this epoch"
+    // O(1) for ANY prior position, not just the hottest (back) entry — a
+    // payload written twice with other writes in between still costs one
+    // buffered entry and one eventual line flush.
+    if (td.ring_members[e % 4].contains(p)) {
+      telemetry::count(telemetry::Ctr::kWbDedupHits);
+      return;
+    }
+  } else if (!ring.empty() && ring.back() == p) {
+    return;  // hot payload, in place
+  }
   if (ring.empty()) td.ring_epoch[e % 4] = e;
   if (opts_.buffer_capacity != 0 && ring.size() >= opts_.buffer_capacity) {
     // Incremental write-back of the oldest entry (paper §5.2: essential so
     // the background thread never faces unbounded buffers).
     telemetry::count(telemetry::Ctr::kWbOverflow);
     persist_block(ring.front());
+    if (opts_.coalesce) td.ring_members[e % 4].erase(ring.front());
     ring.pop_front();
   }
   ring.push_back(p);
+  if (opts_.coalesce) td.ring_members[e % 4].insert(p);
   update_mindicator(td, static_cast<int>(&td - tds_.get()));
 }
 
-std::size_t EpochSys::drain_ring(ThreadData& td, uint64_t e) {
+std::size_t EpochSys::drain_ring(ThreadData& td, uint64_t e,
+                                 std::vector<uint64_t>* boundary_filter) {
   std::lock_guard lk(td.m);
   auto& ring = td.to_persist[e % 4];
   if (ring.empty() || td.ring_epoch[e % 4] != e) return 0;
   const std::size_t n = ring.size();
-  for (PBlk* p : ring) persist_block(p);
+  if (opts_.coalesce) {
+    // Coalesced drain: one flush per distinct dirty line across the whole
+    // ring (minus lines the boundary filter already covers). A throw —
+    // crash point, PersistError — leaves the ring intact, so the payloads
+    // stay queued and retry at the next boundary.
+    std::vector<PBlk*> blocks(ring.begin(), ring.end());
+    persist_blocks_coalesced(blocks.data(), blocks.size(), boundary_filter);
+  } else {
+    for (PBlk* p : ring) persist_block(p);
+  }
   ring.clear();
+  td.ring_members[e % 4].clear();
   update_mindicator(td, static_cast<int>(&td - tds_.get()));
   return n;
 }
@@ -785,11 +912,16 @@ void EpochSys::adopt_thread(int tid, uint64_t upto) {
   cancel(td.to_free[e % 4], td.free_mark[0]);
   cancel(td.to_free[(e + 1) % 4], td.free_mark[1]);
   auto& ring = td.to_persist[e % 4];
+  auto& members = td.ring_members[e % 4];
   for (PBlk* p : td.op_new_blocks) {
     p->magic_ = kPBlkDead;
-    if (std::find(ring.begin(), ring.end(), p) == ring.end()) {
+    const bool present =
+        opts_.coalesce ? members.contains(p)
+                       : std::find(ring.begin(), ring.end(), p) != ring.end();
+    if (!present) {
       if (ring.empty()) td.ring_epoch[e % 4] = e;
       ring.push_back(p);
+      if (opts_.coalesce) members.insert(p);
     }
     queue_free(td, e, p);
   }
@@ -881,7 +1013,40 @@ bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
   // buffers already drained — incremental write-back, sync helping — the
   // data fence can be skipped; the clock fence below still orders us.)
   std::size_t drained = 0;
-  for (int t = 0; t < hwm; ++t) drained += drain_ring(tds_[t], e - 1);
+  std::size_t boundary_lines = 0;
+  if (opts_.coalesce) {
+    // Coalesced boundary (DESIGN.md §13). Phase A: seal EVERY pending
+    // epoch-(e-1) header across threads before any line is flushed — a
+    // line shared by two threads' payloads is flushed once (the filter
+    // below skips the second occurrence), so both headers must carry
+    // their checksums before the first flush. Safe to do in a separate
+    // pass: wait_all quiesced epoch e-1, so these rings only shrink (by
+    // drains) from here on, and blk_seal is idempotent.
+    for (int t = 0; t < hwm; ++t) {
+      ThreadData& td = tds_[t];
+      std::lock_guard tlk(td.m);
+      if (td.ring_epoch[(e - 1) % 4] == e - 1) {
+        for (PBlk* p : td.to_persist[(e - 1) % 4]) p->blk_seal();
+      }
+    }
+    // Phase B: drain per thread through this advancer's epoch-stamped line
+    // filter, so a line covered by two threads' rings costs one flush per
+    // boundary, and a retried boundary (transient IoError) skips what it
+    // already flushed. The stamp resets the filter whenever this thread
+    // advances a different epoch.
+    ThreadData& me = my_td();
+    if (me.wb_filter_epoch != e - 1) {
+      me.wb_filter_lines.clear();
+      me.wb_filter_epoch = e - 1;
+    }
+    const std::size_t filter_before = me.wb_filter_lines.size();
+    for (int t = 0; t < hwm; ++t) {
+      drained += drain_ring(tds_[t], e - 1, &me.wb_filter_lines);
+    }
+    boundary_lines = me.wb_filter_lines.size() - filter_before;
+  } else {
+    for (int t = 0; t < hwm; ++t) drained += drain_ring(tds_[t], e - 1);
+  }
   if (drained > 0) fence_retry();
   // 3. Reclaim payloads whose grace period expired (unless workers do it).
   // Safe without exclusive ownership: reclaim_list swaps each list out
@@ -919,6 +1084,10 @@ bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
                          util::now_ns() - t0);
       telemetry::observe(telemetry::Hist::kDrainBatch, drained);
       telemetry::observe(telemetry::Hist::kReclaimBatch, reclaimed);
+      if (opts_.coalesce) {
+        telemetry::observe(telemetry::Hist::kFlushLinesPerBoundary,
+                           boundary_lines);
+      }
     }
     telemetry::trace(telemetry::Ev::kEpochAdvance, e + 1, drained);
   }

@@ -47,6 +47,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "montage/mindicator.hpp"
@@ -136,6 +137,15 @@ class EpochSys {
     /// clock configurations must stay deterministic.
     bool cooperative_advance = true;
     WriteBack write_back = WriteBack::kBuffered;
+    /// Cache-line coalescing write-back buffers (DESIGN.md §13): dedup
+    /// same-PBlk re-registrations within an epoch, and drain buffers by
+    /// sealing every pending payload, sort/unique-ing the cache lines they
+    /// cover, and issuing exactly one write-back per distinct dirty line
+    /// (nvm::Region::persist_lines); the epoch-boundary drain additionally
+    /// skips lines already persisted this epoch via an epoch-stamped line
+    /// filter. Env MONTAGE_WB_COALESCE (0/1) overrides — the kill switch
+    /// restores the one-flush-per-payload behavior for A/B measurement.
+    bool coalesce = true;
     bool local_free = false;   ///< workers reclaim their own to_free lists
     bool direct_free = false;  ///< UNSAFE, bench-only: reclaim immediately
     bool transient = false;    ///< Montage(T): payloads in NVM, no persistence
@@ -366,6 +376,17 @@ class EpochSys {
     std::mutex m;  ///< guards rings and free lists (owner vs advancer/sync)
     std::deque<PBlk*> to_persist[4];
     uint64_t ring_epoch[4] = {0, 0, 0, 0};  ///< epoch of each ring's contents
+    /// Options::coalesce only: the set view of each to_persist ring, for
+    /// O(1) same-PBlk dedup at registration. Kept exactly in sync with the
+    /// ring (same mutex, same clear points).
+    std::unordered_set<PBlk*> ring_members[4];
+    /// Options::coalesce only: cache lines already written back during the
+    /// boundary drain of epoch `wb_filter_epoch` (sorted, unique). The
+    /// advancing thread consults it across per-thread rings so a line shared
+    /// by two threads' payloads is flushed once per boundary; it resets
+    /// implicitly when the boundary drains a different epoch.
+    std::vector<uint64_t> wb_filter_lines;
+    uint64_t wb_filter_epoch = 0;  ///< epoch wb_filter_lines belongs to
     std::vector<PBlk*> to_free[4];
     /// Newest epoch ever queued into each to_free slot. reclaim_list(e)
     /// refuses to sweep a slot holding anything newer than e, which makes
@@ -416,9 +437,28 @@ class EpochSys {
   /// body).
   void persist_block(PBlk* p);
 
+  /// Options::coalesce drain core: seal every payload in `blocks`, gather
+  /// the cache lines they cover, sort/unique them, drop any line already in
+  /// `*filter` (sorted; may be null), and write the rest back with one
+  /// nvm::Region::persist_lines call (transient-error retry included).
+  /// Newly flushed lines are merged into `*filter`. Line flushes avoided —
+  /// shared-line grouping plus filter hits — are counted as
+  /// epoch.writebacks_coalesced. Returns the number of lines flushed.
+  std::size_t persist_blocks_coalesced(PBlk* const* blocks, std::size_t n,
+                                       std::vector<uint64_t>* filter);
+
+  /// nvm::Region::persist_lines with the same transient-IoError retry loop
+  /// as persist_retry (PersistError past the budget; crash-point exceptions
+  /// propagate untouched).
+  void persist_lines_retry(const uint64_t* lines, std::size_t n);
+
   /// Drain and write back one thread's ring for epoch `e`. Caller must NOT
-  /// hold td.m. Returns number of blocks written back.
-  std::size_t drain_ring(ThreadData& td, uint64_t e);
+  /// hold td.m. Returns number of blocks written back. With
+  /// Options::coalesce the write-back is line-coalesced; `boundary_filter`
+  /// (nullable) is the advancing thread's per-boundary line filter, letting
+  /// the epoch-boundary drain skip lines already persisted this epoch.
+  std::size_t drain_ring(ThreadData& td, uint64_t e,
+                         std::vector<uint64_t>* boundary_filter = nullptr);
 
   /// Invalidate and reclaim every block on `td.to_free[e % 4]`; returns the
   /// number of blocks reclaimed.

@@ -28,6 +28,8 @@ constexpr Meta kCounterMeta[kNumCounters] = {
     {"epoch.writebacks_overflow", "blocks"},
     {"epoch.writebacks_help", "blocks"},
     {"epoch.writebacks_direct", "blocks"},
+    {"epoch.writebacks_coalesced", "lines"},
+    {"epoch.writebacks_dedup_hits", "writes"},
     {"epoch.blocks_reclaimed", "blocks"},
     {"epoch.sync_calls", "calls"},
     {"epoch.sync_fast_path", "calls"},
@@ -74,6 +76,7 @@ constexpr Meta kHistMeta[kNumHists] = {
     {"epoch.sync_latency_ns", "ns"},
     {"epoch.writeback_batch_blocks", "blocks"},
     {"epoch.reclaim_batch_blocks", "blocks"},
+    {"epoch.flush_lines_per_boundary", "lines"},
     {"bench.op_latency_ns", "ns"},
     {"server.ack_lag_ns", "ns"},
     {"server.drain_latency_ns", "ns"},

@@ -106,6 +106,8 @@ enum class Ctr : uint32_t {
   kWbOverflow,
   kWbHelp,
   kWbDirect,
+  kWbCoalesced,
+  kWbDedupHits,
   kBlocksReclaimed,
   kSyncCalls,
   kSyncFast,
@@ -154,6 +156,7 @@ enum class Hist : uint32_t {
   kSyncLatency,
   kDrainBatch,
   kReclaimBatch,
+  kFlushLinesPerBoundary,
   kBenchOpLatency,
   kSrvAckLag,
   kSrvDrainLatency,

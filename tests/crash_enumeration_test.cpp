@@ -16,6 +16,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "ds/montage_hashmap.hpp"
@@ -137,10 +138,16 @@ std::vector<uint64_t> run_workload(Structures& s, EpochSys* es) {
 
 /// Assert the recovered structures equal the model after replaying exactly
 /// the completed steps whose epoch is <= the recovery cutoff.
+/// `overlay_map`/`overlay_epoch` describe map puts issued AFTER the
+/// workload, all in one epoch: buffered durability makes them atomic as a
+/// group — durable iff overlay_epoch <= cutoff — so the model applies them
+/// exactly when the cutoff says so.
 void check_prefix_consistent(PersistentEnv& env,
                              const std::vector<PBlk*>& survivors,
                              const std::vector<uint64_t>& step_epochs,
-                             uint64_t context) {
+                             uint64_t context, uint64_t overlay_epoch = 0,
+                             const std::map<uint64_t, uint64_t>* overlay_map =
+                                 nullptr) {
   const RecoveryReport& rep = env.esys()->last_recovery_report();
   EXPECT_EQ(rep.recovered, survivors.size());
   // Single-threaded epochs are nondecreasing, so "epoch <= cutoff" selects a
@@ -151,6 +158,9 @@ void check_prefix_consistent(PersistentEnv& env,
       ASSERT_GE(step_epochs[i], step_epochs[i - 1]);
     }
     if (step_epochs[i] <= rep.cutoff_epoch) model_step(m, static_cast<int>(i));
+  }
+  if (overlay_map != nullptr && overlay_epoch <= rep.cutoff_epoch) {
+    for (const auto& [k, v] : *overlay_map) m.map[k] = v;
   }
 
   Structures rebuilt(env.esys());
@@ -292,6 +302,91 @@ TEST(CrashEnumeration, SweepInsideCooperativeAdvance) {
     for (PBlk* b : survivors2) uids2.insert(b->blk_uid());
     EXPECT_EQ(uids2, uids1)
         << "recovery not idempotent at in-advance crash point " << n;
+  }
+}
+
+TEST(CrashEnumeration, SweepInsideCoalescedBoundaryDrain) {
+  // The coalesced boundary drain (DESIGN.md §13) seals every pending
+  // payload of the closing epoch, then flushes each distinct dirty cache
+  // line exactly once — and every line flush is its OWN persistence event,
+  // so this sweep lands between any two line flushes of one drain. Fatten
+  // the final ring with payloads written twice in one epoch (registration
+  // dedup) before a trailing advance, and prove recovery is
+  // prefix-consistent and idempotent at every in-drain event.
+  ASSERT_TRUE(no_advancer().coalesce) << "coalescing must default ON";
+
+  // Post-workload fattening, all in one epoch: the first put of each key
+  // clones (the node's epoch predates the workload's trailing sync), the
+  // second hits the in-place path and dedups in the ring, so the drained
+  // ring holds dedup'd re-writes spanning many distinct lines.
+  std::map<uint64_t, uint64_t> overlay;
+  for (uint64_t k = 0; k < kKeySpace; ++k) overlay[k] = 2000 + k;
+  auto fatten = [](Structures& s) {
+    for (uint64_t k = 0; k < kKeySpace; ++k) s.map.put(k, 1000 + k);
+    for (uint64_t k = 0; k < kKeySpace; ++k) s.map.put(k, 2000 + k);
+  };
+
+  // Pass 1: measure the event window of the advance that drains the
+  // fattened ring (the first advance positions the clock so the second
+  // one's boundary drain covers the fattening epoch).
+  uint64_t before, after, fat_epoch;
+  {
+    PersistentEnv env(kRegionSize, no_advancer());
+    Structures s(env.esys());
+    run_workload(s, env.esys());
+    telemetry::reset_metrics();
+    fat_epoch = env.esys()->current_epoch();
+    fatten(s);
+    if (telemetry::kEnabled) {
+      uint64_t hits = 0;
+      for (const auto& c : telemetry::counters_snapshot()) {
+        if (std::string(c.name) == "epoch.writebacks_dedup_hits") {
+          hits = c.value;
+        }
+      }
+      EXPECT_GE(hits, static_cast<uint64_t>(kKeySpace))
+          << "second puts in one epoch must dedup in the ring";
+    }
+    env.esys()->advance_epoch();
+    before = env.region()->persistence_events();
+    env.esys()->advance_epoch();
+    after = env.region()->persistence_events();
+  }
+  // The fat drain flushes several distinct lines (one event each) plus the
+  // clock persist and fences — a window wide enough to sweep inside.
+  ASSERT_GT(after, before + 4) << "coalesced drain issued too few events";
+
+  // Pass 2: one replay per in-drain event index.
+  for (uint64_t n = before + 1; n <= after; ++n) {
+    PersistentEnv env(kRegionSize, no_advancer());
+    env.region()->crash_at_event(n);
+    Structures s(env.esys());
+    auto step_epochs = run_workload(s, env.esys());
+    try {
+      fatten(s);
+      env.esys()->advance_epoch();
+      env.esys()->advance_epoch();
+    } catch (const nvm::CrashPointException&) {
+      // Crashed inside the drain, as armed.
+    }
+    env.region()->clear_crash_schedule();
+    std::vector<PBlk*> survivors;
+    ASSERT_NO_THROW(survivors = env.crash_and_recover(1, no_advancer()))
+        << "recovery aborted for in-drain crash point " << n;
+    check_prefix_consistent(env, survivors, step_epochs, n, fat_epoch,
+                            &overlay);
+
+    // Idempotence: crashing again right after recovery (no new operations)
+    // must land on the identical survivor set.
+    std::multiset<uint64_t> uids1;
+    for (PBlk* b : survivors) uids1.insert(b->blk_uid());
+    std::vector<PBlk*> survivors2;
+    ASSERT_NO_THROW(survivors2 = env.crash_and_recover(1, no_advancer()))
+        << "re-recovery aborted for in-drain crash point " << n;
+    std::multiset<uint64_t> uids2;
+    for (PBlk* b : survivors2) uids2.insert(b->blk_uid());
+    EXPECT_EQ(uids2, uids1)
+        << "recovery not idempotent at in-drain crash point " << n;
   }
 }
 

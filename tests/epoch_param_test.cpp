@@ -28,10 +28,12 @@ struct ParamCase {
   std::size_t buffer_capacity;
   WriteBack write_back;
   bool local_free;
+  bool coalesce = true;
 
   friend std::ostream& operator<<(std::ostream& os, const ParamCase& p) {
     os << "buf" << p.buffer_capacity << "_wb"
-       << static_cast<int>(p.write_back) << (p.local_free ? "_localfree" : "");
+       << static_cast<int>(p.write_back) << (p.local_free ? "_localfree" : "")
+       << (p.coalesce ? "" : "_nocoalesce");
     return os;
   }
 };
@@ -44,6 +46,7 @@ class EpochParamTest : public ::testing::TestWithParam<ParamCase> {
     o.buffer_capacity = GetParam().buffer_capacity;
     o.write_back = GetParam().write_back;
     o.local_free = GetParam().local_free;
+    o.coalesce = GetParam().coalesce;
     return o;
   }
 };
@@ -175,7 +178,13 @@ INSTANTIATE_TEST_SUITE_P(
                       ParamCase{64, WriteBack::kPerOp, false},
                       ParamCase{64, WriteBack::kImmediate, false},
                       ParamCase{64, WriteBack::kBuffered, true},
-                      ParamCase{2, WriteBack::kBuffered, true}),
+                      ParamCase{2, WriteBack::kBuffered, true},
+                      // The MONTAGE_WB_COALESCE=0 fallback path must hold
+                      // the same guarantees across all write-back modes.
+                      ParamCase{64, WriteBack::kBuffered, false, false},
+                      ParamCase{64, WriteBack::kPerOp, false, false},
+                      ParamCase{64, WriteBack::kImmediate, false, false},
+                      ParamCase{2, WriteBack::kBuffered, true, false}),
     [](const ::testing::TestParamInfo<ParamCase>& info) {
       std::ostringstream os;
       os << info.param;
