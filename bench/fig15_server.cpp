@@ -10,6 +10,8 @@
 //                         mid-request disconnectors attack the server
 //   fault_shed,
 //   fault_stall_closed  — the server's defensive actions during that run
+//   scrape_ms           — mean admin-plane /metrics round-trip while the
+//                         data plane is under full load (DESIGN.md §14)
 //   drain_ms            — SIGTERM-to-exit latency with requests in flight
 //   recover_ttfh_ms     — SIGKILL + restart: time to first served hit
 //                         (process start through recovery to first GET)
@@ -41,6 +43,7 @@ namespace {
 struct ServerProc {
   pid_t pid = -1;
   uint16_t port = 0;
+  uint16_t admin_port = 0;  // nonzero only when the admin plane was enabled
 };
 
 using EnvList = std::vector<std::pair<std::string, std::string>>;
@@ -65,8 +68,10 @@ ServerProc spawn_server(const std::string& dir, const EnvList& env) {
   for (int i = 0; i < 400 && s.port == 0; ++i) {
     FILE* f = std::fopen(port_file.c_str(), "r");
     if (f != nullptr) {
-      unsigned p = 0;
-      if (std::fscanf(f, "%u", &p) == 1) s.port = static_cast<uint16_t>(p);
+      unsigned p = 0, ap = 0;
+      const int got = std::fscanf(f, "%u %u", &p, &ap);
+      if (got >= 1) s.port = static_cast<uint16_t>(p);
+      if (got == 2) s.admin_port = static_cast<uint16_t>(ap);
       std::fclose(f);
     }
     if (s.port == 0) ::usleep(25'000);
@@ -301,6 +306,29 @@ uint64_t server_stat(uint16_t port, const std::string& key) {
   return out;
 }
 
+/// One full /metrics round trip against the admin plane: connect, GET,
+/// read to EOF (the response is Connection: close framed). Returns the
+/// wall time in milliseconds, or a negative value on failure.
+double scrape_once(uint16_t admin_port) {
+  const uint64_t t0 = util::now_ns();
+  const int fd = connect_to(admin_port);
+  if (fd < 0) return -1.0;
+  if (!send_all(fd, "GET /metrics HTTP/1.1\r\nHost: bench\r\n"
+                    "Connection: close\r\n\r\n")) {
+    ::close(fd);
+    return -1.0;
+  }
+  char buf[16384];
+  ssize_t n;
+  std::size_t total = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    total += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (total == 0) return -1.0;
+  return util::to_seconds(util::now_ns() - t0) * 1e3;
+}
+
 /// SIGTERM the server and return drain latency (signal to reaped exit).
 double drain_ms(ServerProc& s) {
   const uint64_t t0 = util::now_ns();
@@ -395,6 +423,61 @@ int main_impl() {
     emit("fig15", "fault_stall_closed", "mixed", stalls != 0 ? 1.0 : 0.0);
     for (const pid_t pid : hostiles) ::kill(pid, SIGKILL);
     for (const pid_t pid : hostiles) ::waitpid(pid, nullptr, 0);
+    ::kill(s.pid, SIGTERM);
+    ::waitpid(s.pid, nullptr, 0);
+    s.pid = -1;
+    cleanup_dir(dir);
+  }
+
+  // --- Admin-plane scrape cost under full load -----------------------------
+  // DESIGN.md §14: /metrics renders from sharded-counter sums on the admin
+  // connection's epoll turn, so a scrape must stay cheap while the data
+  // plane is saturated. Mean round-trip (connect + GET + body to EOF); the
+  // _ms suffix marks it lower-is-better for bench/compare and keeps it out
+  // of --rates-only gating (absolute wall time is machine-dependent).
+  {
+    const std::string dir = fresh_dir();
+    ServerProc s = spawn_server(dir,
+                                {{"MONTAGE_SERVER_REGION_MB", region_mb},
+                                 {"MONTAGE_SERVER_ADMIN_PORT", "0"}});
+    if (s.admin_port == 0) {
+      std::fprintf(stderr, "fig15: admin plane did not come up\n");
+      ++failures;
+    } else {
+      const double secs = std::max(cfg.seconds, 0.25);
+      std::vector<pid_t> loaders;
+      for (int c = 0; c < 2; ++c) {
+        int pfd[2];
+        if (pipe(pfd) != 0) break;
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+          ::close(pfd[0]);
+          client_main(s.port, secs, 0.99, records, 10, 555 + c, pfd[1]);
+        }
+        ::close(pfd[0]);  // reports are not used; the load is the point
+        ::close(pfd[1]);
+        loaders.push_back(pid);
+      }
+      double sum_ms = 0;
+      uint64_t scrapes = 0;
+      const uint64_t deadline = util::now_ns() +
+                                static_cast<uint64_t>(secs * 1e9);
+      while (util::now_ns() < deadline) {
+        const double ms = scrape_once(s.admin_port);
+        if (ms >= 0) {
+          sum_ms += ms;
+          ++scrapes;
+        }
+        ::usleep(10'000);  // ~100 scrapes/s: a hostile Prometheus interval
+      }
+      for (const pid_t pid : loaders) ::waitpid(pid, nullptr, 0);
+      if (scrapes == 0) {
+        std::fprintf(stderr, "fig15: no successful /metrics scrape\n");
+        ++failures;
+      } else {
+        emit("fig15", "scrape_ms", "metrics", sum_ms / scrapes);
+      }
+    }
     ::kill(s.pid, SIGTERM);
     ::waitpid(s.pid, nullptr, 0);
     s.pid = -1;

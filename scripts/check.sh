@@ -23,6 +23,38 @@ cmake -B "$BUILD_DIR" -S . -DMONTAGE_SANITIZE="$SAN"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 
+# Live-scrape leg (DESIGN.md §14): boot the real server with the admin plane
+# on an ephemeral port, fetch /metrics over plain TCP, and validate the body
+# with the same strict parser the unit tests link (metrics_lint). Run against
+# the telemetry-OFF tree too: with the registry compiled out the endpoint
+# must still serve a minimal, parser-valid payload.
+scrape_metrics() {
+  local tree=$1 label=$2
+  local tmp pid admin_port
+  tmp=$(mktemp -d)
+  MONTAGE_SERVER_PORT=0 MONTAGE_SERVER_ADMIN_PORT=0 \
+  MONTAGE_SERVER_REGION_MB=64 \
+    "$tree/src/montage_kv_server" --port-file="$tmp/port" &
+  pid=$!
+  for _ in $(seq 1 200); do
+    [[ -s "$tmp/port" ]] && break
+    sleep 0.05
+  done
+  admin_port=$(sed -n 2p "$tmp/port")
+  [[ -n "$admin_port" ]] || { echo "check: $label: no admin port" >&2; exit 1; }
+  exec 3<>"/dev/tcp/127.0.0.1/$admin_port"
+  printf 'GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' >&3
+  sed -e '1,/^\r$/d' <&3 > "$tmp/metrics"   # drop status line + headers
+  exec 3<&- 3>&-
+  "$tree/src/metrics_lint" < "$tmp/metrics"
+  grep -q '^montage_up 1$' "$tmp/metrics"
+  kill -TERM "$pid"
+  wait "$pid"
+  rm -rf "$tmp"
+  echo "check: $label /metrics scrape OK"
+}
+scrape_metrics "$BUILD_DIR" "sanitized"
+
 # Kill-switch leg: telemetry compiled out must still build everything and
 # pass its own tests (the instrumented call sites become empty inlines).
 # The server suites run here too: `stats` and the shed/stall accounting are
@@ -31,8 +63,9 @@ OFF_DIR=build-telemetry-off
 cmake -B "$OFF_DIR" -S . -DMONTAGE_TELEMETRY=OFF
 cmake --build "$OFF_DIR" -j "$(nproc)"
 ctest --test-dir "$OFF_DIR" --output-on-failure -j "$(nproc)" \
-  -R "Telemetry|ShardedCounter|Region|EpochBasic|PerfCounters|ServerConfig|Protocol|ServerSmoke|Coalesce" \
+  -R "Telemetry|ShardedCounter|Region|EpochBasic|PerfCounters|ServerConfig|Protocol|ServerSmoke|Coalesce|Promexpo|RateWindow|Log" \
   "$@"
+scrape_metrics "$OFF_DIR" "telemetry-off"
 
 # Coalescing kill-switch leg: MONTAGE_WB_COALESCE=0 forces one flush per
 # payload on the telemetry-OFF build — the most-stripped configuration must

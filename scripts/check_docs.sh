@@ -22,6 +22,8 @@ HEADERS=(
   src/server/config.hpp
   src/server/protocol.hpp
   src/server/kv_server.hpp
+  src/util/promexpo.hpp
+  src/util/log.hpp
 )
 
 fail=0

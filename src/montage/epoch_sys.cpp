@@ -654,9 +654,9 @@ void EpochSys::persist_block(PBlk* p) {
   persist_retry(p, p->size_);
 }
 
-std::size_t EpochSys::persist_blocks_coalesced(PBlk* const* blocks,
-                                               std::size_t n,
-                                               std::vector<uint64_t>* filter) {
+std::size_t EpochSys::persist_blocks_coalesced(
+    PBlk* const* blocks, std::size_t n, std::vector<uint64_t>* filter,
+    std::vector<uint64_t>* slot_filter) {
   if (n == 0) return 0;
   nvm::Region* region = ral_->region();
   // Seal BEFORE gathering any line: a cache line shared by two payloads is
@@ -675,23 +675,27 @@ std::size_t EpochSys::persist_blocks_coalesced(PBlk* const* blocks,
   const std::size_t refs = lines.size();
   std::sort(lines.begin(), lines.end());
   lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
-  if (filter != nullptr && !filter->empty()) {
-    // Drop lines the boundary already flushed (filter is sorted).
+  // Drop lines either filter already covers (both sorted): `filter` is the
+  // advancing thread's per-boundary view, `slot_filter` the ring owner's
+  // per-slot view extended across sync vacuum rounds.
+  for (std::vector<uint64_t>* f : {filter, slot_filter}) {
+    if (f == nullptr || f->empty() || lines.empty()) continue;
     std::vector<uint64_t> fresh;
     fresh.reserve(lines.size());
-    std::set_difference(lines.begin(), lines.end(), filter->begin(),
-                        filter->end(), std::back_inserter(fresh));
+    std::set_difference(lines.begin(), lines.end(), f->begin(), f->end(),
+                        std::back_inserter(fresh));
     lines.swap(fresh);
   }
   persist_lines_retry(lines.data(), lines.size());
-  if (filter != nullptr && !lines.empty()) {
-    // Only lines that actually flushed enter the filter — a batch that threw
-    // above left the filter untouched, so its retry re-flushes everything.
+  for (std::vector<uint64_t>* f : {filter, slot_filter}) {
+    if (f == nullptr || lines.empty()) continue;
+    // Only lines that actually flushed enter the filters — a batch that
+    // threw above left them untouched, so its retry re-flushes everything.
     std::vector<uint64_t> merged;
-    merged.reserve(filter->size() + lines.size());
-    std::merge(filter->begin(), filter->end(), lines.begin(), lines.end(),
+    merged.reserve(f->size() + lines.size());
+    std::merge(f->begin(), f->end(), lines.begin(), lines.end(),
                std::back_inserter(merged));
-    filter->swap(merged);
+    f->swap(merged);
   }
   telemetry::count(telemetry::Ctr::kWbCoalesced, refs - lines.size());
   return lines.size();
@@ -765,14 +769,38 @@ void EpochSys::fence_retry() {
   }
 }
 
+void EpochSys::slot_filter_dirty(ThreadData& td, uint64_t e, const PBlk* p) {
+  if (!opts_.coalesce) return;
+  auto& filt = td.slot_filter_lines[e % 4];
+  if (td.slot_filter_epoch[e % 4] != e || filt.empty()) return;
+  nvm::Region* region = ral_->region();
+  const uint64_t first = region->line_index(p);
+  const uint64_t last =
+      region->line_index(reinterpret_cast<const char*>(p) + p->size_ - 1);
+  for (uint64_t l = first; l <= last; ++l) {
+    const auto it = std::lower_bound(filt.begin(), filt.end(), l);
+    if (it != filt.end() && *it == l) filt.erase(it);
+  }
+}
+
 void EpochSys::ring_push(ThreadData& td, uint64_t e, PBlk* p) {
   auto& ring = td.to_persist[e % 4];
   if (opts_.coalesce) {
+    // Restamp the slot's line filter whenever the slot is reused for a new
+    // epoch, so every consult/merge below sees a filter that belongs to e.
+    if (td.slot_filter_epoch[e % 4] != e) {
+      td.slot_filter_lines[e % 4].clear();
+      td.slot_filter_epoch[e % 4] = e;
+    }
     // Registration dedup: the set view makes "already buffered this epoch"
     // O(1) for ANY prior position, not just the hottest (back) entry — a
     // payload written twice with other writes in between still costs one
-    // buffered entry and one eventual line flush.
+    // buffered entry and one eventual line flush. The payload's bytes just
+    // changed either way, so any record of its lines as already flushed is
+    // stale — without this, an in-place re-modification of a ringed payload
+    // whose line a vacuum round already flushed would never be rewritten.
     if (td.ring_members[e % 4].contains(p)) {
+      slot_filter_dirty(td, e, p);
       telemetry::count(telemetry::Ctr::kWbDedupHits);
       return;
     }
@@ -784,12 +812,41 @@ void EpochSys::ring_push(ThreadData& td, uint64_t e, PBlk* p) {
     // Incremental write-back of the oldest entry (paper §5.2: essential so
     // the background thread never faces unbounded buffers).
     telemetry::count(telemetry::Ctr::kWbOverflow);
-    persist_block(ring.front());
-    if (opts_.coalesce) td.ring_members[e % 4].erase(ring.front());
+    if (opts_.coalesce) {
+      // Route the eviction through the slot filter: a line it flushes is
+      // skipped by later drains of this slot unless re-dirtied, and a line
+      // a vacuum round already flushed (still clean) is not flushed again.
+      // Every ring-mate sharing a line with the victim must carry its
+      // checksum before that line is captured-and-filtered (the boundary's
+      // phase-A seal invariant): a skipped rewrite would otherwise leave an
+      // unsealed header on NVM for recovery to quarantine.
+      PBlk* victim = ring.front();
+      nvm::Region* region = ral_->region();
+      const uint64_t vf = region->line_index(victim);
+      const uint64_t vl = region->line_index(
+          reinterpret_cast<const char*>(victim) + victim->size_ - 1);
+      for (PBlk* q : ring) {
+        const uint64_t qf = region->line_index(q);
+        const uint64_t ql = region->line_index(
+            reinterpret_cast<const char*>(q) + q->size_ - 1);
+        if (qf <= vl && vf <= ql) q->blk_seal();
+      }
+      persist_blocks_coalesced(&victim, 1, nullptr,
+                               &td.slot_filter_lines[e % 4]);
+      td.ring_members[e % 4].erase(victim);
+    } else {
+      persist_block(ring.front());
+    }
     ring.pop_front();
   }
   ring.push_back(p);
-  if (opts_.coalesce) td.ring_members[e % 4].insert(p);
+  if (opts_.coalesce) {
+    td.ring_members[e % 4].insert(p);
+    // Invalidate AFTER any eviction above merged its lines: `p` itself may
+    // share a line with the victim, and its header is not sealed yet — the
+    // next drain must rewrite that line once p's checksum is in place.
+    slot_filter_dirty(td, e, p);
+  }
   update_mindicator(td, static_cast<int>(&td - tds_.get()));
 }
 
@@ -801,11 +858,17 @@ std::size_t EpochSys::drain_ring(ThreadData& td, uint64_t e,
   const std::size_t n = ring.size();
   if (opts_.coalesce) {
     // Coalesced drain: one flush per distinct dirty line across the whole
-    // ring (minus lines the boundary filter already covers). A throw —
-    // crash point, PersistError — leaves the ring intact, so the payloads
-    // stay queued and retry at the next boundary.
+    // ring, minus lines the boundary filter or the owner's per-slot filter
+    // (extended across sync vacuum rounds and overflow evictions) already
+    // covers. A throw — crash point, PersistError — leaves the ring intact,
+    // so the payloads stay queued and retry at the next boundary.
+    if (td.slot_filter_epoch[e % 4] != e) {
+      td.slot_filter_lines[e % 4].clear();
+      td.slot_filter_epoch[e % 4] = e;
+    }
     std::vector<PBlk*> blocks(ring.begin(), ring.end());
-    persist_blocks_coalesced(blocks.data(), blocks.size(), boundary_filter);
+    persist_blocks_coalesced(blocks.data(), blocks.size(), boundary_filter,
+                             &td.slot_filter_lines[e % 4]);
   } else {
     for (PBlk* p : ring) persist_block(p);
   }
@@ -1064,14 +1127,23 @@ bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
   uint64_t expected = e;
   const bool won = clock_->compare_exchange_strong(
       expected, e + 1, std::memory_order_acq_rel, std::memory_order_acquire);
-  persist_retry(clock_, sizeof(*clock_));
-  fence_retry();
-  // The clock line just flushed held at least e+1 (our CAS or the winner's
-  // larger value) — only now may the durable frontier move. A concurrent
-  // advancer still between its CAS and its persist leaves the frontier
-  // where it was, so nothing downstream (e.g. the server's ACK release)
-  // can treat its DRAM-only tick as durable.
-  bump_durable_clock(e + 1);
+  if (durable_clock_.load(std::memory_order_acquire) >= e + 1) {
+    // Clock-line dedup: durable_clock_ only moves after a persist+fence of
+    // a clock value at least that large, so a concurrent advancer has
+    // already made this tick durable — flushing the clock line again buys
+    // nothing. (Unreachable on the CAS-won path: the clock was e until our
+    // CAS, so no earlier flush can have covered e+1.)
+    telemetry::count(telemetry::Ctr::kWbCoalesced);
+  } else {
+    persist_retry(clock_, sizeof(*clock_));
+    fence_retry();
+    // The clock line just flushed held at least e+1 (our CAS or the
+    // winner's larger value) — only now may the durable frontier move. A
+    // concurrent advancer still between its CAS and its persist leaves the
+    // frontier where it was, so nothing downstream (e.g. the server's ACK
+    // release) can treat its DRAM-only tick as durable.
+    bump_durable_clock(e + 1);
+  }
   last_tick_ns_.store(util::now_ns(), std::memory_order_relaxed);
   if (won) {
     if constexpr (telemetry::kEnabled) {
@@ -1173,9 +1245,17 @@ bool EpochSys::sync_for(uint64_t deadline_ns) {
   // before the persist gives a conservative durable value: the flushed
   // line content can only be >= what we read.
   const uint64_t seen = clock_->load(std::memory_order_acquire);
-  persist_retry(clock_, sizeof(*clock_));
-  fence_retry();
-  bump_durable_clock(seen);
+  if (durable_clock_.load(std::memory_order_acquire) >= seen) {
+    // Clock-line dedup: a clock value >= seen is already persisted AND
+    // fenced (that is the only way durable_clock_ moves), so this tail
+    // flush would rewrite an identical-or-older line. The frontier the
+    // caller observes is exactly what the flush would have produced.
+    telemetry::count(telemetry::Ctr::kWbCoalesced);
+  } else {
+    persist_retry(clock_, sizeof(*clock_));
+    fence_retry();
+    bump_durable_clock(seen);
+  }
   if (advances == 0) {
     telemetry::count(telemetry::Ctr::kSyncFast);
   } else {

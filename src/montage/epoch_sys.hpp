@@ -387,6 +387,18 @@ class EpochSys {
     /// implicitly when the boundary drains a different epoch.
     std::vector<uint64_t> wb_filter_lines;
     uint64_t wb_filter_epoch = 0;  ///< epoch wb_filter_lines belongs to
+    /// Options::coalesce only: per-ring-slot epoch-stamped filters of cache
+    /// lines already written back for that slot's epoch by ANY drain of this
+    /// thread's ring — sync vacuum rounds, helping scans, the epoch
+    /// boundary, and overflow evictions all consult and extend the same
+    /// filter, so a line a sync already flushed is not flushed again unless
+    /// it was re-dirtied. Soundness hinges on ring_push: every registration
+    /// (including the dedup hit for a payload already ringed) removes the
+    /// payload's lines, so a surviving filter entry proves the line's
+    /// content is unchanged since its last flush. Guarded by td.m; restamped
+    /// (cleared) whenever the slot is reused for a different epoch.
+    std::vector<uint64_t> slot_filter_lines[4];
+    uint64_t slot_filter_epoch[4] = {0, 0, 0, 0};
     std::vector<PBlk*> to_free[4];
     /// Newest epoch ever queued into each to_free slot. reclaim_list(e)
     /// refuses to sweep a slot holding anything newer than e, which makes
@@ -439,13 +451,23 @@ class EpochSys {
 
   /// Options::coalesce drain core: seal every payload in `blocks`, gather
   /// the cache lines they cover, sort/unique them, drop any line already in
-  /// `*filter` (sorted; may be null), and write the rest back with one
-  /// nvm::Region::persist_lines call (transient-error retry included).
-  /// Newly flushed lines are merged into `*filter`. Line flushes avoided —
-  /// shared-line grouping plus filter hits — are counted as
-  /// epoch.writebacks_coalesced. Returns the number of lines flushed.
+  /// `*filter` or `*slot_filter` (each sorted; either may be null), and
+  /// write the rest back with one nvm::Region::persist_lines call
+  /// (transient-error retry included). Newly flushed lines are merged into
+  /// both filters. Line flushes avoided — shared-line grouping plus filter
+  /// hits — are counted as epoch.writebacks_coalesced. Returns the number
+  /// of lines flushed.
   std::size_t persist_blocks_coalesced(PBlk* const* blocks, std::size_t n,
-                                       std::vector<uint64_t>* filter);
+                                       std::vector<uint64_t>* filter,
+                                       std::vector<uint64_t>* slot_filter =
+                                           nullptr);
+
+  /// Remove the lines `p` covers from td's per-slot line filter for epoch
+  /// `e`: its bytes just changed, so any already-flushed record is stale.
+  /// Purely subtractive — (re)stamping the slot for a new epoch happens in
+  /// ring_push, and a slot still holding another epoch is left untouched.
+  /// Caller holds td.m. No-op unless Options::coalesce.
+  void slot_filter_dirty(ThreadData& td, uint64_t e, const PBlk* p);
 
   /// nvm::Region::persist_lines with the same transient-IoError retry loop
   /// as persist_retry (PersistError past the budget; crash-point exceptions

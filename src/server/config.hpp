@@ -63,6 +63,19 @@ struct ServerConfig {
   /// responses behind a final sync, then force-close whatever remains when
   /// the deadline expires. MONTAGE_SERVER_DRAIN_MS, default 5000, >= 1.
   uint64_t drain_deadline_ms = 5'000;
+  /// Whether the admin/introspection listener (/metrics, /healthz, /varz —
+  /// DESIGN.md §14) is enabled. Set MONTAGE_SERVER_ADMIN_PORT to enable;
+  /// unset leaves the plane off entirely (no extra listener).
+  bool admin_enabled = false;
+  /// Loopback TCP port for the admin listener; 0 asks the kernel for an
+  /// ephemeral port (written as the second line of --port-file).
+  /// MONTAGE_SERVER_ADMIN_PORT, range [0, 65535].
+  uint16_t admin_port = 0;
+  /// Slow-op threshold: a request whose parse-to-durable-ACK latency exceeds
+  /// this many nanoseconds emits one structured log line, increments
+  /// server.slow_ops, and lands in the /varz recent-slow-ops ring.
+  /// 0 disables capture. MONTAGE_SERVER_SLOW_OP_NS, default 0.
+  uint64_t slow_op_ns = 0;
 
   /// Read every MONTAGE_SERVER_* knob, strictly validated: non-numeric
   /// values, out-of-range ports, zero caps that must be positive, and
@@ -125,6 +138,21 @@ struct ServerConfig {
       throw std::invalid_argument(
           "MONTAGE_SERVER_DRAIN_MS=0: drain needs a positive deadline");
     }
+    // Presence of MONTAGE_SERVER_ADMIN_PORT is the enable switch: an admin
+    // plane the operator did not ask for must not open a listener.
+    if (const char* ap = std::getenv("MONTAGE_SERVER_ADMIN_PORT");
+        ap != nullptr && *ap != '\0') {
+      const uint64_t admin = util::env_u64_checked("MONTAGE_SERVER_ADMIN_PORT", 0);
+      if (admin > 65535) {
+        throw std::invalid_argument("MONTAGE_SERVER_ADMIN_PORT=" +
+                                    std::to_string(admin) +
+                                    ": not a TCP port");
+      }
+      c.admin_enabled = true;
+      c.admin_port = static_cast<uint16_t>(admin);
+    }
+    c.slow_op_ns =
+        util::env_u64_checked("MONTAGE_SERVER_SLOW_OP_NS", c.slow_op_ns);
     return c;
   }
 };

@@ -19,6 +19,7 @@
 
 #include "nvm/region.hpp"
 #include "server/protocol.hpp"
+#include "util/log.hpp"
 #include "util/timing.hpp"
 
 namespace montage::server {
@@ -32,6 +33,21 @@ constexpr int kMutationRetries = 8;    // epoch-conflict retry budget per op
 
 uint64_t wall_seconds() { return static_cast<uint64_t>(::time(nullptr)); }
 
+// FNV-1a over the request key: slow-op log lines carry a stable hash, not
+// the key itself (keys may be sensitive; a hash still correlates repeats).
+uint64_t key_hash64(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::size_t kSlowRingCap = 64;     // /varz recent-slow-ops depth
+constexpr std::size_t kAdminHdrMax = 8192;   // admin request header cap
+constexpr uint64_t kWindowPushNs = 1'000'000'000ull;  // rate-window cadence
+
 // Accepted fds are already non-blocking (accept4 passes SOCK_NONBLOCK).
 void set_nodelay(int fd) {
   int one = 1;
@@ -44,7 +60,22 @@ void set_nodelay(int fd) {
 struct PendingResp {
   std::string bytes;
   uint64_t epoch;   // 0 = releasable immediately (reads, errors)
-  uint64_t enq_ns;  // for the ack-lag histogram
+  uint64_t enq_ns;  // for the ack-lag histogram and slow-op latency
+  // Slow-op identity (DESIGN.md §14): who this response answers, captured at
+  // parse time so a late release can still say what was slow.
+  const char* verb = "";   // static verb name, "" for protocol errors
+  uint64_t key_hash = 0;   // FNV-1a of the first key, 0 when keyless
+  uint64_t begin_epoch = 0;  // clock when the request began executing
+};
+
+/// One admin HTTP/1.1 connection (GET + Connection: close state machine).
+struct KvServer::AdminConn {
+  int fd = -1;
+  std::string in;        // request bytes until the blank line
+  std::string out;       // rendered response
+  std::size_t out_off = 0;
+  bool responded = false;  // request handled; close once out drains
+  bool dead = false;
 };
 
 struct KvServer::Conn {
@@ -117,6 +148,48 @@ KvServer::KvServer(const ServerConfig& cfg, kvstore::MontageMemCache* cache,
     ::close(listen_fd_);
     throw std::runtime_error("kv_server: eventfd() failed");
   }
+  if (cfg_.admin_enabled) {
+    // The admin plane binds loopback only, like the data port: /metrics and
+    // /varz expose operational internals and must not face the network
+    // without an operator-provided proxy in front.
+    admin_listen_fd_ =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (admin_listen_fd_ < 0) {
+      ::close(listen_fd_);
+      ::close(drain_efd_);
+      throw std::runtime_error("kv_server: admin socket() failed");
+    }
+    ::setsockopt(admin_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in aaddr{};
+    aaddr.sin_family = AF_INET;
+    aaddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    aaddr.sin_port = htons(cfg_.admin_port);
+    if (::bind(admin_listen_fd_, reinterpret_cast<sockaddr*>(&aaddr),
+               sizeof(aaddr)) != 0 ||
+        ::listen(admin_listen_fd_, 16) != 0) {
+      ::close(admin_listen_fd_);
+      ::close(listen_fd_);
+      ::close(drain_efd_);
+      throw std::runtime_error("kv_server: cannot bind admin port " +
+                               std::to_string(cfg_.admin_port));
+    }
+    sockaddr_in abound{};
+    socklen_t alen = sizeof(abound);
+    ::getsockname(admin_listen_fd_, reinterpret_cast<sockaddr*>(&abound),
+                  &alen);
+    admin_port_ = ntohs(abound.sin_port);
+    admin_epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (admin_epfd_ < 0) {
+      ::close(admin_listen_fd_);
+      ::close(listen_fd_);
+      ::close(drain_efd_);
+      throw std::runtime_error("kv_server: admin epoll failed");
+    }
+    epoll_event aev{};
+    aev.events = EPOLLIN;
+    aev.data.ptr = nullptr;  // nullptr tags the admin listener
+    ::epoll_ctl(admin_epfd_, EPOLL_CTL_ADD, admin_listen_fd_, &aev);
+  }
   for (uint32_t i = 0; i < cfg_.workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->epfd = ::epoll_create1(EPOLL_CLOEXEC);
@@ -140,6 +213,9 @@ KvServer::~KvServer() {
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (drain_efd_ >= 0) ::close(drain_efd_);
+  for (auto& [fd, a] : admin_conns_) ::close(fd);
+  if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
+  if (admin_epfd_ >= 0) ::close(admin_epfd_);
 }
 
 void KvServer::request_drain() {
@@ -160,6 +236,9 @@ void KvServer::run() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   draining_.store(true, std::memory_order_release);
+  util::log::info("drain_begin")
+      .field("port", static_cast<uint64_t>(port_))
+      .field("deadline_ms", cfg_.drain_deadline_ms);
   for (auto& w : workers_) w->ring();
   sync_cv_.notify_all();
 
@@ -171,7 +250,14 @@ void KvServer::run() {
       if (!w->done.load(std::memory_order_acquire)) all_done = false;
     }
     if (!all_done) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      // Keep the admin plane answering for the whole drain window (/healthz
+      // must say 503 so load balancers stop routing); the 1 ms pump timeout
+      // doubles as the wait backoff.
+      if (admin_epfd_ >= 0) {
+        admin_pump(1);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
     }
   }
   if (!all_done) {
@@ -188,6 +274,9 @@ void KvServer::run() {
   const uint64_t dt = util::now_ns() - t0;
   drain_latency_ns_.store(dt, std::memory_order_relaxed);
   telemetry::observe(telemetry::Hist::kSrvDrainLatency, dt);
+  util::log::info("drain_done")
+      .field("forced", !all_done)
+      .field("latency_ms", static_cast<double>(dt) / 1e6);
 }
 
 // ---- acceptor ---------------------------------------------------------------
@@ -200,10 +289,19 @@ void KvServer::acceptor_loop() {
   ::epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd_, &ev);
   ev.data.u32 = 1;  // drain eventfd
   ::epoll_ctl(ep, EPOLL_CTL_ADD, drain_efd_, &ev);
+  if (admin_epfd_ >= 0) {
+    ev.data.u32 = 2;  // admin plane: its epoll fd is itself pollable
+    ::epoll_ctl(ep, EPOLL_CTL_ADD, admin_epfd_, &ev);
+  }
+  // With the admin plane on, wake periodically to feed the rate window even
+  // when no traffic arrives (a scrape after an idle minute must still see
+  // fresh rates, and the window is what distinguishes "0/s now" from
+  // "lifetime average").
+  const int timeout = admin_epfd_ >= 0 ? 250 : -1;
   bool drain = false;
   while (!drain) {
     epoll_event evs[8];
-    const int n = ::epoll_wait(ep, evs, 8, -1);
+    const int n = ::epoll_wait(ep, evs, 8, timeout);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -211,10 +309,13 @@ void KvServer::acceptor_loop() {
     for (int i = 0; i < n; ++i) {
       if (evs[i].data.u32 == 1) {
         drain = true;
+      } else if (evs[i].data.u32 == 2) {
+        admin_pump(0);
       } else {
         accept_ready();
       }
     }
+    if (admin_epfd_ >= 0) maybe_push_rate_snapshot(util::now_ns());
   }
   ::close(ep);
 }
@@ -287,8 +388,8 @@ void KvServer::syncer_loop() {
       // Transient device errors did not clear within the retry budget; the
       // payloads stay queued and the next batch retries them. ACKs simply
       // wait longer — durability is never claimed early.
-      std::fprintf(stderr, "kv_server: sync failed (%s), will retry\n",
-                   e.what());
+      util::log::warn("sync_failed").field("path", "syncer").field("error",
+                                                                   e.what());
       continue;
     }
     if (!synced) continue;  // timed out on a wedged peer: retry next interval
@@ -325,8 +426,8 @@ void KvServer::maybe_help_sync(Worker& w) {
     synced = esys_->sync_for(std::max<uint64_t>(
         cfg_.sync_interval_us * 1'000ull * 10, 50'000'000ull));
   } catch (const PersistError& e) {
-    std::fprintf(stderr, "kv_server: helping sync failed (%s), will retry\n",
-                 e.what());
+    util::log::warn("sync_failed").field("path", "caller").field("error",
+                                                                 e.what());
     return;
   }
   if (!synced) return;
@@ -525,6 +626,11 @@ void KvServer::handle_readable(Worker& w, Conn& c) {
 
 void KvServer::handle_request(Worker& w, Conn& c, const Request& req) {
   const uint64_t now = wall_seconds();
+  // Slow-op identity, captured up front: the epoch the request began in and
+  // the hash of its (first) key travel with the pending response so the
+  // release path can emit a complete record however late the ACK is.
+  const uint64_t begin_epoch = esys_->current_epoch();
+  const uint64_t khash = req.keys.empty() ? 0 : key_hash64(req.keys[0]);
   if (cfg_.max_inflight != 0 && req.verb != Verb::kQuit &&
       w.inflight.load(std::memory_order_relaxed) >= cfg_.max_inflight) {
     stats_.requests_shed.add();
@@ -560,7 +666,8 @@ void KvServer::handle_request(Worker& w, Conn& c, const Request& req) {
         resp += "\r\n";
       }
       resp += "END\r\n";
-      enqueue(w, c, std::move(resp), 0, /*noreply=*/false);
+      enqueue(w, c, std::move(resp), 0, /*noreply=*/false, "get", khash,
+              begin_epoch);
       break;
     }
     case Verb::kSet:
@@ -587,7 +694,8 @@ void KvServer::handle_request(Worker& w, Conn& c, const Request& req) {
                                                 std::memory_order_relaxed)) {
       }
       enqueue(w, c, stored ? "STORED\r\n" : "NOT_STORED\r\n", stored ? e : 0,
-              req.noreply);
+              req.noreply, req.verb == Verb::kSet ? "set" : "add", khash,
+              begin_epoch);
       break;
     }
     case Verb::kDelete: {
@@ -602,7 +710,7 @@ void KvServer::handle_request(Worker& w, Conn& c, const Request& req) {
         }
       }
       enqueue(w, c, deleted ? "DELETED\r\n" : "NOT_FOUND\r\n", deleted ? e : 0,
-              req.noreply);
+              req.noreply, "delete", khash, begin_epoch);
       break;
     }
     case Verb::kIncr:
@@ -621,14 +729,20 @@ void KvServer::handle_request(Worker& w, Conn& c, const Request& req) {
                               cur, e, std::memory_order_release,
                               std::memory_order_relaxed)) {
         }
-        enqueue(w, c, std::to_string(*v) + "\r\n", e, req.noreply);
+        enqueue(w, c, std::to_string(*v) + "\r\n", e, req.noreply,
+                req.verb == Verb::kIncr ? "incr" : "decr", khash, begin_epoch);
       } else {
-        enqueue(w, c, "NOT_FOUND\r\n", 0, req.noreply);
+        enqueue(w, c, "NOT_FOUND\r\n", 0, req.noreply,
+                req.verb == Verb::kIncr ? "incr" : "decr", khash, begin_epoch);
       }
       break;
     }
     case Verb::kStats:
-      enqueue(w, c, stats_payload(), 0, /*noreply=*/false);
+      enqueue(w, c,
+              !req.keys.empty() && req.keys[0] == "montage"
+                  ? montage_stats_payload()
+                  : stats_payload(),
+              0, /*noreply=*/false, "stats", 0, begin_epoch);
       break;
     case Verb::kVersion:
       enqueue(w, c, "VERSION montage-1\r\n", 0, /*noreply=*/false);
@@ -640,10 +754,12 @@ void KvServer::handle_request(Worker& w, Conn& c, const Request& req) {
 }
 
 void KvServer::enqueue(Worker& w, Conn& c, std::string bytes, uint64_t epoch,
-                       bool noreply) {
+                       bool noreply, const char* verb, uint64_t key_hash,
+                       uint64_t begin_epoch) {
   if (noreply || bytes.empty()) return;
   c.pending_bytes += bytes.size();
-  c.pending.push_back(PendingResp{std::move(bytes), epoch, util::now_ns()});
+  c.pending.push_back(PendingResp{std::move(bytes), epoch, util::now_ns(),
+                                  verb, key_hash, begin_epoch});
   w.inflight.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -655,6 +771,12 @@ void KvServer::release_and_flush(Worker& w, Conn& c) {
     if (p.epoch != 0) {
       telemetry::observe(telemetry::Hist::kSrvAckLag,
                          util::now_ns() - p.enq_ns);
+    }
+    if (cfg_.slow_op_ns != 0) {
+      // End-to-end latency at the ACK release point: parse -> persist ->
+      // the response entering the socket buffer.
+      const uint64_t lat = util::now_ns() - p.enq_ns;
+      if (lat >= cfg_.slow_op_ns) record_slow_op(p, lat, frontier);
     }
     if (c.out.empty()) c.last_progress_ns = util::now_ns();
     c.pending_bytes -= p.bytes.size();
@@ -753,6 +875,10 @@ void KvServer::close_conn(Worker& w, Conn& c) {
 
 std::string KvServer::stats_payload() {
   const auto cs = cache_->stats();
+  // One coherent pass over the sharded counters: every row below comes from
+  // the same ServerStats::Snapshot, not from live reads interleaved with
+  // concurrent increments.
+  const ServerStats::Snapshot ss = stats_.snapshot();
   std::string out;
   auto stat = [&out](const char* k, uint64_t v) {
     out += "STAT ";
@@ -762,16 +888,17 @@ std::string KvServer::stats_payload() {
     out += "\r\n";
   };
   stat("curr_connections", conn_count_.load(std::memory_order_relaxed));
-  stat("total_connections", stats_.conns_accepted.read());
-  stat("connections_shed", stats_.conns_shed.read());
-  stat("cmd_requests", stats_.requests.read());
-  stat("requests_shed", stats_.requests_shed.read());
-  stat("idle_closed", stats_.idle_closed.read());
-  stat("stall_closed", stats_.stall_closed.read());
-  stat("backpressure_pauses", stats_.backpressure.read());
-  stat("sync_batches", stats_.sync_batches.read());
-  stat("sync_path_syncer", stats_.sync_path_syncer.read());
-  stat("sync_path_caller", stats_.sync_path_caller.read());
+  stat("total_connections", ss.conns_accepted);
+  stat("connections_shed", ss.conns_shed);
+  stat("cmd_requests", ss.requests);
+  stat("requests_shed", ss.requests_shed);
+  stat("idle_closed", ss.idle_closed);
+  stat("stall_closed", ss.stall_closed);
+  stat("backpressure_pauses", ss.backpressure);
+  stat("sync_batches", ss.sync_batches);
+  stat("sync_path_syncer", ss.sync_path_syncer);
+  stat("sync_path_caller", ss.sync_path_caller);
+  stat("slow_ops", ss.slow_ops);
   stat("get_hits", cs.hits);
   stat("get_misses", cs.misses);
   stat("evictions", cs.evictions);
@@ -793,6 +920,334 @@ std::string KvServer::stats_payload() {
          tc[static_cast<std::size_t>(telemetry::Ctr::kWbDedupHits)].value);
   }
   out += "END\r\n";
+  return out;
+}
+
+// `stats montage`: the telemetry registry over the plain memcached protocol,
+// so epoch/persistence counters are readable without the admin port. Dotted
+// registry names are used verbatim as STAT keys; histograms surface as
+// _count/_sum/_p50/_p99 rows. Works in MONTAGE_TELEMETRY=OFF builds too:
+// the always-available server counters and region totals still show.
+std::string KvServer::montage_stats_payload() {
+  std::string out;
+  auto stat = [&out](const std::string& k, uint64_t v) {
+    out += "STAT " + k + ' ' + std::to_string(v) + "\r\n";
+  };
+  stat("telemetry", telemetry::kEnabled ? 1 : 0);
+  stat("epoch_current", esys_->current_epoch());
+  stat("epoch_persisted", esys_->persisted_frontier());
+  const auto rs = esys_->ralloc()->region()->stats();
+  stat("nvm.lines_flushed_total", rs.lines_flushed);
+  stat("nvm.fences_total", rs.fences);
+  for (const auto& c : telemetry::counters_snapshot()) {
+    // The registry's own nvm rows would shadow the region totals above under
+    // a different lifetime (reset_metrics); skip the two duplicates.
+    if (std::strcmp(c.name, "nvm.lines_flushed_total") == 0 ||
+        std::strcmp(c.name, "nvm.fences_total") == 0) {
+      continue;
+    }
+    stat(c.name, c.value);
+  }
+  for (const auto& h : telemetry::histograms_snapshot()) {
+    const telemetry::Percentiles p = telemetry::hist_percentiles(h);
+    stat(std::string(h.name) + "_count", h.count);
+    stat(std::string(h.name) + "_sum", h.sum);
+    stat(std::string(h.name) + "_p50", p.p50);
+    stat(std::string(h.name) + "_p99", p.p99);
+  }
+  if (!telemetry::kEnabled) {
+    // Registry compiled out: surface the sharded server counters under their
+    // registry names so the command keeps one schema across build flavours.
+    const ServerStats::Snapshot ss = stats_.snapshot();
+    stat("server.connections_accepted", ss.conns_accepted);
+    stat("server.requests", ss.requests);
+    stat("server.sync_batches", ss.sync_batches);
+    stat("server.slow_ops", ss.slow_ops);
+    stat("server.admin_requests", ss.admin_requests);
+  }
+  out += "END\r\n";
+  return out;
+}
+
+// ---- slow-op capture (DESIGN.md §14) ----------------------------------------
+
+void KvServer::record_slow_op(const PendingResp& p, uint64_t lat_ns,
+                              uint64_t frontier) {
+  stats_.slow_ops.add();
+  telemetry::count(telemetry::Ctr::kSrvSlowOps);
+  const uint64_t ack_epoch = esys_->current_epoch();
+  // Exactly one structured line per slow op, from the release point: the
+  // op's identity plus the epoch positions that explain the wait.
+  util::log::warn("slow_op")
+      .field("verb", p.verb)
+      .hex_field("key_hash", p.key_hash)
+      .field("lat_ns", lat_ns)
+      .field("epoch_begin", p.begin_epoch)
+      .field("epoch_ack", ack_epoch)
+      .field("bytes", static_cast<uint64_t>(p.bytes.size()))
+      .field("persisted_frontier", frontier);
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "{\"ts_ns\":%llu,\"verb\":\"%s\",\"key_hash\":\"%016llx\","
+                "\"lat_ns\":%llu,\"epoch_begin\":%llu,\"epoch_ack\":%llu,"
+                "\"bytes\":%zu,\"persisted_frontier\":%llu}",
+                static_cast<unsigned long long>(util::now_ns()), p.verb,
+                static_cast<unsigned long long>(p.key_hash),
+                static_cast<unsigned long long>(lat_ns),
+                static_cast<unsigned long long>(p.begin_epoch),
+                static_cast<unsigned long long>(ack_epoch), p.bytes.size(),
+                static_cast<unsigned long long>(frontier));
+  std::lock_guard lk(slow_m_);
+  slow_ring_.emplace_back(buf);
+  while (slow_ring_.size() > kSlowRingCap) slow_ring_.pop_front();
+}
+
+// ---- admin/introspection plane (DESIGN.md §14) ------------------------------
+
+void KvServer::maybe_push_rate_snapshot(uint64_t now_ns) {
+  if (now_ns - last_window_push_ns_ < kWindowPushNs) return;
+  last_window_push_ns_ = now_ns;
+  promexpo::Snapshot s = promexpo::capture(now_ns);
+  std::lock_guard lk(window_m_);
+  window_.push(std::move(s));
+}
+
+void KvServer::admin_pump(int timeout_ms) {
+  if (admin_epfd_ < 0) return;
+  epoll_event evs[16];
+  const int n = ::epoll_wait(admin_epfd_, evs, 16, timeout_ms);
+  for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+    if (evs[i].data.ptr == nullptr) {
+      admin_accept();
+      continue;
+    }
+    auto* a = static_cast<AdminConn*>(evs[i].data.ptr);
+    if (a->dead) continue;
+    if ((evs[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+      a->dead = true;
+      continue;
+    }
+    admin_io(*a);
+  }
+  for (auto it = admin_conns_.begin(); it != admin_conns_.end();) {
+    if (it->second->dead) {
+      ::epoll_ctl(admin_epfd_, EPOLL_CTL_DEL, it->first, nullptr);
+      ::close(it->first);
+      it = admin_conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void KvServer::admin_accept() {
+  while (true) {
+    const int fd = ::accept4(admin_listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    set_nodelay(fd);
+    auto a = std::make_unique<AdminConn>();
+    a->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = a.get();
+    if (::epoll_ctl(admin_epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    admin_conns_.emplace(fd, std::move(a));
+  }
+}
+
+void KvServer::admin_io(AdminConn& a) {
+  char tmp[4096];
+  while (!a.responded) {
+    const ssize_t n = ::recv(a.fd, tmp, sizeof(tmp), 0);
+    if (n > 0) {
+      a.in.append(tmp, static_cast<std::size_t>(n));
+      if (a.in.size() > kAdminHdrMax) {
+        a.out = "HTTP/1.1 400 Bad Request\r\nConnection: close\r\n"
+                "Content-Length: 0\r\n\r\n";
+        a.responded = true;
+        break;
+      }
+      if (a.in.find("\r\n\r\n") != std::string::npos) {
+        admin_handle(a);
+        break;
+      }
+    } else if (n == 0) {
+      a.dead = true;
+      return;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      a.dead = true;
+      return;
+    }
+  }
+  admin_flush(a);
+}
+
+void KvServer::admin_handle(AdminConn& a) {
+  stats_.admin_requests.add();
+  telemetry::count(telemetry::Ctr::kSrvAdminRequests);
+  // Request line: METHOD SP path SP version. Anything malformed is a 400;
+  // the body builders below are the only dynamic part.
+  std::string method, path;
+  const std::size_t eol = a.in.find("\r\n");
+  const std::size_t sp1 = a.in.find(' ');
+  if (sp1 != std::string::npos && sp1 < eol) {
+    const std::size_t sp2 = a.in.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos && sp2 < eol) {
+      method = a.in.substr(0, sp1);
+      path = a.in.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t q = path.find('?');
+      if (q != std::string::npos) path.erase(q);
+    }
+  }
+  std::string status = "200 OK";
+  std::string ctype = "text/plain; charset=utf-8";
+  std::string body;
+  if (method.empty() || path.empty()) {
+    status = "400 Bad Request";
+  } else if (method != "GET") {
+    status = "405 Method Not Allowed";
+  } else if (path == "/metrics") {
+    ctype = "text/plain; version=0.0.4; charset=utf-8";
+    body = metrics_payload();
+  } else if (path == "/healthz") {
+    if (draining_.load(std::memory_order_acquire)) {
+      status = "503 Service Unavailable";
+      body = "draining\n";
+    } else {
+      body = "ok\n";
+    }
+  } else if (path == "/varz") {
+    ctype = "application/json";
+    body = varz_payload();
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+  a.out = "HTTP/1.1 " + status + "\r\nContent-Type: " + ctype +
+          "\r\nContent-Length: " + std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n" + body;
+  a.responded = true;
+}
+
+void KvServer::admin_flush(AdminConn& a) {
+  while (a.out_off < a.out.size()) {
+    const ssize_t n = ::send(a.fd, a.out.data() + a.out_off,
+                             a.out.size() - a.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      a.out_off += static_cast<std::size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Arm EPOLLOUT until the peer drains.
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT;
+      ev.data.ptr = &a;
+      ::epoll_ctl(admin_epfd_, EPOLL_CTL_MOD, a.fd, &ev);
+      return;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      a.dead = true;
+      return;
+    }
+  }
+  if (a.responded) a.dead = true;  // Connection: close
+}
+
+std::string KvServer::metrics_payload() {
+  const promexpo::Snapshot snap = promexpo::capture(util::now_ns());
+  std::vector<promexpo::CounterRow> extra;
+  if (!telemetry::kEnabled) {
+    // Registry compiled out: the scrape still gets real counter families
+    // from the always-available sharded server counters.
+    const ServerStats::Snapshot ss = stats_.snapshot();
+    extra.push_back({"server.connections_accepted",
+                     "connections accepted by the server", ss.conns_accepted});
+    extra.push_back({"server.requests", "protocol requests parsed",
+                     ss.requests});
+    extra.push_back({"server.sync_batches",
+                     "ack batches released behind one sync", ss.sync_batches});
+    extra.push_back({"server.slow_ops", "requests over the slow-op threshold",
+                     ss.slow_ops});
+    extra.push_back({"server.admin_requests", "admin HTTP requests served",
+                     ss.admin_requests});
+  }
+  std::vector<promexpo::GaugeRow> gauges;
+  gauges.push_back({"server.curr_connections", "open client connections",
+                    static_cast<double>(
+                        conn_count_.load(std::memory_order_relaxed))});
+  gauges.push_back({"server.draining",
+                    "1 once SIGTERM drain began (healthz says 503)",
+                    draining_.load(std::memory_order_acquire) ? 1.0 : 0.0});
+  gauges.push_back({"server.epoch_current", "current epoch clock",
+                    static_cast<double>(esys_->current_epoch())});
+  gauges.push_back({"server.epoch_persisted", "persisted frontier",
+                    static_cast<double>(esys_->persisted_frontier())});
+  for (const auto& g : telemetry::gauges_snapshot()) {
+    gauges.push_back({g.name, "montage gauge (" + g.unit + ")",
+                      static_cast<double>(g.value)});
+  }
+  std::lock_guard lk(window_m_);
+  return promexpo::render(snap, extra, gauges, &window_);
+}
+
+std::string KvServer::varz_payload() {
+  const ServerStats::Snapshot ss = stats_.snapshot();
+  std::string out;
+  out.reserve(8192);
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"server\":{\"port\":%u,\"admin_port\":%u,\"curr_connections\":%llu,"
+      "\"draining\":%s,",
+      port_, admin_port_,
+      static_cast<unsigned long long>(
+          conn_count_.load(std::memory_order_relaxed)),
+      draining_.load(std::memory_order_acquire) ? "true" : "false");
+  out += buf;
+  auto row = [&out](const char* k, uint64_t v, bool last = false) {
+    out += '"';
+    out += k;
+    out += "\":";
+    out += std::to_string(v);
+    out += last ? "" : ",";
+  };
+  row("connections_accepted", ss.conns_accepted);
+  row("connections_shed", ss.conns_shed);
+  row("requests", ss.requests);
+  row("requests_shed", ss.requests_shed);
+  row("idle_closed", ss.idle_closed);
+  row("stall_closed", ss.stall_closed);
+  row("backpressure_pauses", ss.backpressure);
+  row("sync_batches", ss.sync_batches);
+  row("sync_path_syncer", ss.sync_path_syncer);
+  row("sync_path_caller", ss.sync_path_caller);
+  row("slow_ops", ss.slow_ops);
+  row("admin_requests", ss.admin_requests);
+  row("epoch_current", esys_->current_epoch());
+  row("epoch_persisted", esys_->persisted_frontier(), /*last=*/true);
+  out += "},\"slow_ops\":[";
+  {
+    std::lock_guard lk(slow_m_);
+    bool first = true;
+    for (const auto& s : slow_ring_) {
+      if (!first) out += ',';
+      out += s;
+      first = false;
+    }
+  }
+  out += "],\"registry\":";
+  out += telemetry::stats_json();  // full --stats-json document, reused
+  out += "}";
   return out;
 }
 

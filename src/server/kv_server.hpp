@@ -37,9 +37,14 @@
 #include <thread>
 #include <vector>
 
+#include <deque>
+#include <string>
+#include <unordered_map>
+
 #include "kvstore/memcache.hpp"
 #include "montage/epoch_sys.hpp"
 #include "server/config.hpp"
+#include "util/promexpo.hpp"
 #include "util/telemetry.hpp"
 
 namespace montage::server {
@@ -63,6 +68,37 @@ struct ServerStats {
   telemetry::ShardedCounter sync_batches;     ///< batched acks released by one sync
   telemetry::ShardedCounter sync_path_syncer; ///< syncs run by the syncer thread
   telemetry::ShardedCounter sync_path_caller; ///< syncs run by a helping worker
+  telemetry::ShardedCounter slow_ops;         ///< requests over the slow-op bar
+  telemetry::ShardedCounter admin_requests;   ///< admin HTTP requests served
+
+  /// One coherent sample of every counter, in plain integers. The `stats`
+  /// payload and /varz are built from a single snapshot() call instead of
+  /// reading the live counters one by one mid-update, so the rows in one
+  /// response can never disagree by more than one concurrent increment.
+  struct Snapshot {
+    uint64_t conns_accepted;    ///< connections accepted
+    uint64_t conns_shed;        ///< refused at accept (busy)
+    uint64_t requests;          ///< protocol requests parsed
+    uint64_t requests_shed;     ///< answered SERVER_ERROR overloaded
+    uint64_t idle_closed;       ///< closed by the idle timeout
+    uint64_t stall_closed;      ///< closed by the write-stall timeout
+    uint64_t backpressure;      ///< reads paused on full output
+    uint64_t sync_batches;      ///< batched acks released by one sync
+    uint64_t sync_path_syncer;  ///< syncs run by the syncer thread
+    uint64_t sync_path_caller;  ///< syncs run by a helping worker
+    uint64_t slow_ops;          ///< requests over the slow-op bar
+    uint64_t admin_requests;    ///< admin HTTP requests served
+  };
+
+  /// Aggregate every counter once, in declaration order.
+  Snapshot snapshot() const {
+    return Snapshot{conns_accepted.read(), conns_shed.read(), requests.read(),
+                    requests_shed.read(), idle_closed.read(),
+                    stall_closed.read(), backpressure.read(),
+                    sync_batches.read(), sync_path_syncer.read(),
+                    sync_path_caller.read(), slow_ops.read(),
+                    admin_requests.read()};
+  }
 };
 
 /// The epoll server. Construction binds and listens (so port() is valid
@@ -82,6 +118,9 @@ class KvServer {
 
   /// The bound TCP port (the kernel's choice when cfg.port was 0).
   uint16_t port() const { return port_; }
+
+  /// The bound admin-listener port (0 when the admin plane is disabled).
+  uint16_t admin_port() const { return admin_port_; }
 
   /// Serve until a drain completes: spawns the workers and the ack syncer,
   /// then runs the acceptor on the calling thread.
@@ -111,7 +150,8 @@ class KvServer {
   void handle_readable(Worker& w, Conn& c);
   void handle_request(Worker& w, Conn& c, const struct Request& req);
   void enqueue(Worker& w, Conn& c, std::string bytes, uint64_t epoch,
-               bool noreply);
+               bool noreply, const char* verb = "", uint64_t key_hash = 0,
+               uint64_t begin_epoch = 0);
   void maybe_help_sync(Worker& w);
   void release_and_flush(Worker& w, Conn& c);
   void flush_writes(Conn& c);
@@ -119,7 +159,26 @@ class KvServer {
   void scan_timeouts(Worker& w, uint64_t now_ns);
   void close_conn(Worker& w, Conn& c);
   std::string stats_payload();
+  std::string montage_stats_payload();
   [[noreturn]] void crash_die();
+
+  // ---- admin/introspection plane (DESIGN.md §14) ----
+  // All admin state is owned by the thread running run(): the acceptor loop
+  // pumps it while serving, and run()'s drain-wait loop keeps pumping it so
+  // /healthz answers 503 for the whole drain window. No locking needed
+  // beyond window_m_ (the rate window is also read at scrape time).
+  struct AdminConn;
+
+  void admin_pump(int timeout_ms);
+  void admin_accept();
+  void admin_io(AdminConn& a);
+  void admin_handle(AdminConn& a);
+  void admin_flush(AdminConn& a);
+  void maybe_push_rate_snapshot(uint64_t now_ns);
+  void record_slow_op(const struct PendingResp& p, uint64_t lat_ns,
+                      uint64_t frontier);
+  std::string metrics_payload();
+  std::string varz_payload();
 
   ServerConfig cfg_;
   kvstore::MontageMemCache* cache_;
@@ -129,6 +188,16 @@ class KvServer {
   int listen_fd_ = -1;
   int drain_efd_ = -1;
   uint16_t port_ = 0;
+
+  int admin_listen_fd_ = -1;
+  int admin_epfd_ = -1;
+  uint16_t admin_port_ = 0;
+  std::unordered_map<int, std::unique_ptr<AdminConn>> admin_conns_;
+  std::mutex window_m_;           ///< guards window_ (tick push vs scrape)
+  promexpo::RateWindow window_;   ///< last-N registry snapshots for rates
+  uint64_t last_window_push_ns_ = 0;
+  std::mutex slow_m_;             ///< guards slow_ring_
+  std::deque<std::string> slow_ring_;  ///< recent slow ops, rendered JSON
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread syncer_;

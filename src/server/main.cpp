@@ -22,7 +22,9 @@
 //                               event schedule is deterministic).
 //
 // Flags: --port-file=<path>  write the bound port (atomically) once serving;
-//        test harnesses use it with MONTAGE_SERVER_PORT=0.
+//        test harnesses use it with MONTAGE_SERVER_PORT=0. When the admin
+//        plane is enabled (MONTAGE_SERVER_ADMIN_PORT) a second line carries
+//        the bound admin port; readers of the first integer are unaffected.
 //
 // SIGTERM/SIGINT trigger the graceful drain: stop accepting, flush in-flight
 // responses behind a final sync, close the region cleanly, exit 0.
@@ -41,6 +43,7 @@
 #include "server/config.hpp"
 #include "server/kv_server.hpp"
 #include "util/env.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -58,12 +61,18 @@ montage::nvm::PersistMode parse_mode(const std::string& s) {
                               "': expected passthrough|latency|tracked");
 }
 
-void write_port_file(const std::string& path, uint16_t port) {
-  // Write-then-rename so a polling harness never reads a partial file.
+void write_port_file(const std::string& path, uint16_t port,
+                     uint16_t admin_port) {
+  // Write-then-rename so a polling harness never reads a partial file. The
+  // admin port, when enabled, is a second line: existing readers scan the
+  // first integer and never see it.
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) throw std::runtime_error("cannot write " + tmp);
   std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  if (admin_port != 0) {
+    std::fprintf(f, "%u\n", static_cast<unsigned>(admin_port));
+  }
   std::fclose(f);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::runtime_error("cannot rename " + tmp);
@@ -86,6 +95,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    util::log::init_from_env();
     const auto cfg = server::ServerConfig::from_env();
     nvm::RegionOptions ropts;
     ropts.size = util::env_u64_checked("MONTAGE_SERVER_REGION_MB", 256) << 20;
@@ -123,14 +133,14 @@ int main(int argc, char** argv) {
       const auto survivors = esys->recover(static_cast<int>(cfg.workers));
       cache->recover(survivors);
       const auto& rr = esys->last_recovery_report();
-      std::fprintf(stderr,
-                   "kv_server: recovered %zu items from %s (payloads %zu, "
-                   "late-epoch %zu, corrupt %zu, crash_epoch %llu, cutoff "
-                   "%llu)\n",
-                   cache->size(), ropts.path.c_str(), rr.recovered,
-                   rr.discarded_late_epoch, rr.quarantined_corrupt,
-                   static_cast<unsigned long long>(rr.crash_epoch),
-                   static_cast<unsigned long long>(rr.cutoff_epoch));
+      util::log::info("recovered")
+          .field("items", static_cast<uint64_t>(cache->size()))
+          .field("region", ropts.path)
+          .field("payloads", static_cast<uint64_t>(rr.recovered))
+          .field("late_epoch", static_cast<uint64_t>(rr.discarded_late_epoch))
+          .field("corrupt", static_cast<uint64_t>(rr.quarantined_corrupt))
+          .field("crash_epoch", static_cast<uint64_t>(rr.crash_epoch))
+          .field("cutoff_epoch", static_cast<uint64_t>(rr.cutoff_epoch));
     }
 
     server::KvServer srv(cfg, cache.get(), esys.get());
@@ -140,20 +150,22 @@ int main(int argc, char** argv) {
     ::sigaction(SIGTERM, &sa, nullptr);
     ::sigaction(SIGINT, &sa, nullptr);
 
-    if (!port_file.empty()) write_port_file(port_file, srv.port());
-    std::fprintf(stderr, "kv_server: serving on 127.0.0.1:%u (%s)\n",
-                 static_cast<unsigned>(srv.port()),
-                 recover ? "recovered" : "fresh");
+    if (!port_file.empty()) {
+      write_port_file(port_file, srv.port(), srv.admin_port());
+    }
+    util::log::info("serving")
+        .field("addr", "127.0.0.1")
+        .field("port", static_cast<uint64_t>(srv.port()))
+        .field("admin_port", static_cast<uint64_t>(srv.admin_port()))
+        .field("state", recover ? "recovered" : "fresh");
 
     srv.run();  // blocks until the SIGTERM drain completes
     g_server = nullptr;
 
-    std::fprintf(stderr,
-                 "kv_server: drained in %.1f ms (%llu reqs, %llu shed)\n",
-                 srv.drain_latency_ns() / 1e6,
-                 static_cast<unsigned long long>(srv.stats().requests.read()),
-                 static_cast<unsigned long long>(
-                     srv.stats().requests_shed.read()));
+    util::log::info("drained")
+        .field("latency_ms", srv.drain_latency_ns() / 1e6)
+        .field("requests", srv.stats().requests.read())
+        .field("shed", srv.stats().requests_shed.read());
 
     // Clean region close: everything released was already durable (the drain
     // ended with a final sync); tear down in construction order.
@@ -163,6 +175,8 @@ int main(int argc, char** argv) {
     nvm::Region::destroy_global();
     return 0;
   } catch (const std::exception& e) {
+    // Startup validation failures must reach the operator even when the log
+    // level was itself the malformed knob, so this one stays on raw stderr.
     std::fprintf(stderr, "kv_server: fatal: %s\n", e.what());
     return 2;
   }

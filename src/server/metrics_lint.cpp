@@ -1,0 +1,24 @@
+// metrics_lint: read a Prometheus text exposition from stdin, validate it
+// with promexpo::lint (the same strict parser the unit tests use), and exit
+// 0/1. scripts/check.sh pipes a live /metrics scrape through this so CI and
+// the tests agree on what "valid exposition" means.
+#include <cstdio>
+#include <string>
+
+#include "util/promexpo.hpp"
+
+int main() {
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, stdin)) > 0) {
+    text.append(buf, n);
+  }
+  const std::string err = montage::promexpo::lint(text);
+  if (!err.empty()) {
+    std::fprintf(stderr, "metrics_lint: %s\n", err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "metrics_lint: OK (%zu bytes)\n", text.size());
+  return 0;
+}

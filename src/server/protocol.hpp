@@ -42,7 +42,8 @@ enum class Verb : uint8_t {
   kDelete,   ///< `delete <key> [noreply]`
   kIncr,     ///< `incr <key> <delta> [noreply]`
   kDecr,     ///< `decr <key> <delta> [noreply]`
-  kStats,    ///< `stats` — STAT lines + END
+  kStats,    ///< `stats [montage]` — STAT lines + END; the `montage`
+             ///< variant dumps the telemetry registry (keys[0]=="montage")
   kVersion,  ///< `version`
   kQuit,     ///< `quit` — close after flushing
 };
@@ -249,6 +250,14 @@ inline ParseResult parse_request(std::string_view buf) {
 
   if (verb == "stats" && tok.size() == 1) {
     r.req.verb = Verb::kStats;
+  } else if (verb == "stats" && tok.size() == 2 && tok[1] == "montage") {
+    // `stats montage`: telemetry registry rows (epoch/persistence counters)
+    // for plain memcached clients, no admin port required.
+    r.req.verb = Verb::kStats;
+    r.req.keys.emplace_back(tok[1]);
+  } else if (verb == "stats") {
+    return detail::bad(line_consumed,
+                       "CLIENT_ERROR unknown stats argument\r\n");
   } else if (verb == "version" && tok.size() == 1) {
     r.req.verb = Verb::kVersion;
   } else if (verb == "quit" && tok.size() == 1) {

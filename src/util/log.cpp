@@ -1,0 +1,205 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cinttypes>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/env.hpp"
+#include "util/timing.hpp"
+
+namespace montage::util::log {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+std::atomic<uint64_t> g_rate{256};
+std::atomic<std::FILE*> g_sink{nullptr};
+std::atomic<uint64_t> g_dropped_total{0};
+
+// Rate limiter + emission serialization. One mutex guards both: the window
+// bookkeeping and the fwrite, so "reserve a token, then emit" can never
+// interleave with another line.
+std::mutex g_emit_m;
+uint64_t g_window_start_ns = 0;   // guarded by g_emit_m
+uint64_t g_window_emitted = 0;    // guarded by g_emit_m
+uint64_t g_dropped_pending = 0;   // drops not yet reported on a line
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Level parse_level(std::string_view name) {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  throw std::invalid_argument("MONTAGE_LOG_LEVEL='" + std::string(name) +
+                              "': expected debug|info|warn|error|off");
+}
+
+void init_from_env() {
+  const std::string lvl = util::env_str("MONTAGE_LOG_LEVEL", "info");
+  set_level(parse_level(lvl));
+  set_rate_limit(util::env_u64_checked("MONTAGE_LOG_RATE", 256));
+}
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(Level lvl) {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void set_rate_limit(uint64_t lines_per_sec) {
+  g_rate.store(lines_per_sec, std::memory_order_relaxed);
+}
+
+void set_sink(std::FILE* f) { g_sink.store(f, std::memory_order_relaxed); }
+
+uint64_t dropped_total() {
+  return g_dropped_total.load(std::memory_order_relaxed);
+}
+
+bool enabled(Level lvl) {
+  return lvl != Level::kOff && static_cast<int>(lvl) >=
+                                   g_level.load(std::memory_order_relaxed);
+}
+
+Line::Line(Level lvl, std::string_view event) : armed_(enabled(lvl)) {
+  if (!armed_) return;
+  buf_.reserve(192);
+  char head[64];
+  std::snprintf(head, sizeof head, "{\"ts_ns\":%" PRIu64 ",\"level\":\"%s\"",
+                util::now_ns(), level_name(lvl));
+  buf_ += head;
+  buf_ += ",\"event\":\"";
+  append_escaped(buf_, event);
+  buf_ += '"';
+}
+
+Line& Line::field(std::string_view key, std::string_view val) {
+  if (!armed_) return *this;
+  buf_ += ",\"";
+  buf_.append(key.data(), key.size());
+  buf_ += "\":\"";
+  append_escaped(buf_, val);
+  buf_ += '"';
+  return *this;
+}
+
+Line& Line::field(std::string_view key, uint64_t val) {
+  if (!armed_) return *this;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, val);
+  buf_ += ",\"";
+  buf_.append(key.data(), key.size());
+  buf_ += "\":";
+  buf_ += buf;
+  return *this;
+}
+
+Line& Line::field(std::string_view key, int64_t val) {
+  if (!armed_) return *this;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, val);
+  buf_ += ",\"";
+  buf_.append(key.data(), key.size());
+  buf_ += "\":";
+  buf_ += buf;
+  return *this;
+}
+
+Line& Line::field(std::string_view key, double val) {
+  if (!armed_) return *this;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", val);
+  buf_ += ",\"";
+  buf_.append(key.data(), key.size());
+  buf_ += "\":";
+  buf_ += buf;
+  return *this;
+}
+
+Line& Line::field(std::string_view key, bool val) {
+  if (!armed_) return *this;
+  buf_ += ",\"";
+  buf_.append(key.data(), key.size());
+  buf_ += "\":";
+  buf_ += val ? "true" : "false";
+  return *this;
+}
+
+Line& Line::hex_field(std::string_view key, uint64_t val) {
+  if (!armed_) return *this;
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, val);
+  buf_ += ",\"";
+  buf_.append(key.data(), key.size());
+  buf_ += "\":\"";
+  buf_ += buf;
+  buf_ += '"';
+  return *this;
+}
+
+Line::~Line() {
+  if (!armed_) return;
+  const uint64_t now = util::now_ns();
+  std::lock_guard lk(g_emit_m);
+  const uint64_t rate = g_rate.load(std::memory_order_relaxed);
+  if (rate != 0) {
+    if (now - g_window_start_ns >= 1'000'000'000ull) {
+      g_window_start_ns = now;
+      g_window_emitted = 0;
+    }
+    if (g_window_emitted >= rate) {
+      ++g_dropped_pending;
+      g_dropped_total.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++g_window_emitted;
+  }
+  if (g_dropped_pending != 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, ",\"dropped\":%" PRIu64, g_dropped_pending);
+    buf_ += buf;
+    g_dropped_pending = 0;
+  }
+  buf_ += "}\n";
+  std::FILE* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = stderr;
+  std::fwrite(buf_.data(), 1, buf_.size(), sink);
+  std::fflush(sink);
+}
+
+}  // namespace montage::util::log

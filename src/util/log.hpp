@@ -1,0 +1,115 @@
+// Leveled, rate-limited, structured logging: every emission is exactly one
+// JSON object per line ({"ts_ns":...,"level":"warn","event":"slow_op",...}),
+// written with a single fwrite so concurrent emitters never interleave
+// mid-line and `jq`/log shippers can consume stderr directly. The KV server
+// uses this in place of ad-hoc fprintf prints; the slow-op capture path
+// (DESIGN.md §14) depends on the one-line-per-emission guarantee.
+//
+// Environment knobs (strictly validated — garbage throws, it never silently
+// disables logging an operator believes is armed):
+//
+//   MONTAGE_LOG_LEVEL=<s>  debug | info | warn | error | off. Default info.
+//   MONTAGE_LOG_RATE=<n>   max emitted lines per wall-clock second; lines
+//                          over budget are dropped and counted, and the next
+//                          emitted line carries a "dropped":<n> field so the
+//                          gap is visible in the stream. 0 = unlimited.
+//                          Default 256.
+//
+// The emit path takes a mutex: logging here is for anomalies and lifecycle
+// events (startup, drain, slow ops), not per-request tracing, so contention
+// is irrelevant and the serialization doubles as the interleaving guarantee.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace montage::util::log {
+
+/// Severity levels, ordered; kOff disables everything.
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Read MONTAGE_LOG_LEVEL / MONTAGE_LOG_RATE and apply them. Safe to call
+/// repeatedly; throws std::invalid_argument on malformed values, naming the
+/// variable.
+void init_from_env();
+
+/// The current minimum severity that will be emitted.
+Level level();
+
+/// Set the minimum severity (tests and init_from_env).
+void set_level(Level lvl);
+
+/// Set the per-second emission budget; 0 = unlimited (tests and
+/// init_from_env).
+void set_rate_limit(uint64_t lines_per_sec);
+
+/// Redirect emission (default stderr). Tests point this at a tmpfile; pass
+/// nullptr to restore stderr.
+void set_sink(std::FILE* f);
+
+/// Total lines dropped by the rate limiter since process start.
+uint64_t dropped_total();
+
+/// True when a line at `lvl` would currently be emitted (level gate only —
+/// the rate limiter is applied at emission).
+bool enabled(Level lvl);
+
+/// Parse a level name ("debug".."off"); throws std::invalid_argument on
+/// anything else. Exposed for knob validation tests.
+Level parse_level(std::string_view name);
+
+/// One structured line under construction. Build with field() calls; the
+/// destructor emits the completed JSON object (or nothing, if the level gate
+/// or rate limiter said no at construction). Field values are escaped;
+/// keys are trusted literals from the call site.
+class Line {
+ public:
+  /// Start a line at severity `lvl` with the mandatory "event" field.
+  Line(Level lvl, std::string_view event);
+  /// Emits the completed line (single fwrite, trailing newline).
+  ~Line();
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
+
+  /// Append a string field (value JSON-escaped).
+  Line& field(std::string_view key, std::string_view val);
+  /// Append a C-string field (without this overload a `const char*` would
+  /// prefer the standard pointer-to-bool conversion over string_view).
+  Line& field(std::string_view key, const char* val) {
+    return field(key, std::string_view(val));
+  }
+  /// Append an unsigned integer field.
+  Line& field(std::string_view key, uint64_t val);
+  /// Append a signed integer field.
+  Line& field(std::string_view key, int64_t val);
+  /// Append a floating-point field (%.3f).
+  Line& field(std::string_view key, double val);
+  /// Append a boolean field (true/false literals).
+  Line& field(std::string_view key, bool val);
+  /// Append an unsigned integer rendered as a zero-padded hex string — for
+  /// key hashes, where a stable width aids grep.
+  Line& hex_field(std::string_view key, uint64_t val);
+
+ private:
+  bool armed_;
+  std::string buf_;
+};
+
+/// Shorthand constructors for each severity.
+inline Line debug(std::string_view event) { return {Level::kDebug, event}; }
+/// Start an info-level line.
+inline Line info(std::string_view event) { return {Level::kInfo, event}; }
+/// Start a warn-level line.
+inline Line warn(std::string_view event) { return {Level::kWarn, event}; }
+/// Start an error-level line.
+inline Line error(std::string_view event) { return {Level::kError, event}; }
+
+}  // namespace montage::util::log

@@ -67,8 +67,10 @@ constexpr Meta kCounterMeta[kNumCounters] = {
     {"server.sync_batches", "batches"},
     {"server.sync_path_syncer", "syncs"},
     {"server.sync_path_caller", "syncs"},
+    {"server.slow_ops", "requests"},
+    {"server.admin_requests", "requests"},
 };
-static_assert(static_cast<uint32_t>(Ctr::kSrvSyncPathCaller) == kNumCounters - 1,
+static_assert(static_cast<uint32_t>(Ctr::kSrvAdminRequests) == kNumCounters - 1,
               "counter catalog out of sync with Ctr enum");
 
 constexpr Meta kHistMeta[kNumHists] = {
@@ -502,6 +504,15 @@ void dump_json(std::FILE* out) {
   std::fprintf(out, "%s\n", s.c_str());
 }
 
+std::vector<GaugeValue> gauges_snapshot() {
+  std::vector<GaugeValue> out;
+  for (auto& g : sample_gauges()) {
+    out.push_back(GaugeValue{std::move(g.first), std::move(g.second.first),
+                             g.second.second});
+  }
+  return out;
+}
+
 #else  // MONTAGE_TELEMETRY_ENABLED
 
 // Kill-switch build: the registry is compiled out; these keep the call sites
@@ -536,6 +547,7 @@ void unregister_gauge(int) {}
 
 std::vector<CounterValue> counters_snapshot() { return {}; }
 std::vector<HistogramValue> histograms_snapshot() { return {}; }
+std::vector<GaugeValue> gauges_snapshot() { return {}; }
 void reset_metrics() {}
 
 void dump_text(std::FILE* out) {

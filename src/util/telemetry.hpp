@@ -145,6 +145,8 @@ enum class Ctr : uint32_t {
   kSrvSyncBatches,
   kSrvSyncPathSyncer,
   kSrvSyncPathCaller,
+  kSrvSlowOps,
+  kSrvAdminRequests,
   kCount,
 };
 
@@ -196,6 +198,15 @@ struct TraceEvent {
 struct CounterValue {
   const char* name;
   const char* unit;
+  uint64_t value;
+};
+
+/// One late-bound gauge sampled at snapshot time (same-name gauges summed).
+/// Unlike CounterValue the identity strings are owned: gauge names come from
+/// register_gauge callers, not the static catalog.
+struct GaugeValue {
+  std::string name;
+  std::string unit;
   uint64_t value;
 };
 
@@ -367,6 +378,11 @@ std::vector<CounterValue> counters_snapshot();
 
 /// Aggregated histograms, catalog order.
 std::vector<HistogramValue> histograms_snapshot();
+
+/// Sampled gauges, same-name entries summed (registration order otherwise).
+/// Empty when telemetry is compiled out. The read side of register_gauge —
+/// the Prometheus exposition (util/promexpo) renders these live.
+std::vector<GaugeValue> gauges_snapshot();
 
 /// Zero every counter and histogram slot (the trace is left alone; racing
 /// recorders may survive into the next snapshot).

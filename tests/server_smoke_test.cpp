@@ -5,7 +5,9 @@
 // drives it over a TCP socket, and exercises the robustness envelope:
 // pipelined protocol traffic, SIGTERM drain, kill -9 + restart with every
 // ACKed SET surviving, the deterministic MONTAGE_CRASH_AT schedule in a
-// whole server process, overload shedding, and slow-reader stall closes.
+// whole server process, overload shedding, slow-reader stall closes, and the
+// admin/introspection plane (/metrics through the strict promexpo linter,
+// /healthz flipping 503 during drain, /varz, structured slow-op logging).
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <gtest/gtest.h>
@@ -23,7 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "util/promexpo.hpp"
+
 namespace {
+
+namespace promexpo = montage::promexpo;
 
 #ifndef MONTAGE_SERVER_BIN
 #error "MONTAGE_SERVER_BIN must point at the montage_kv_server binary"
@@ -42,6 +48,7 @@ std::string test_dir() {
 struct ServerHandle {
   pid_t pid = -1;
   uint16_t port = 0;
+  uint16_t admin_port = 0;  // 0 unless MONTAGE_SERVER_ADMIN_PORT was set
 
   ~ServerHandle() {
     if (pid > 0) {
@@ -59,8 +66,11 @@ struct ServerHandle {
   }
 };
 
-/// fork+exec the server with `env` overrides; waits for the port file.
-ServerHandle start_server(const std::string& dir, const EnvList& env) {
+/// fork+exec the server with `env` overrides; waits for the port file. A
+/// nonempty `stderr_file` redirects the child's stderr there (the structured
+/// log stream) so tests can assert on emitted lines.
+ServerHandle start_server(const std::string& dir, const EnvList& env,
+                          const std::string& stderr_file = "") {
   ServerHandle h;
   const std::string port_file = dir + "/port";
   ::unlink(port_file.c_str());
@@ -69,20 +79,31 @@ ServerHandle start_server(const std::string& dir, const EnvList& env) {
   if (h.pid == 0) {
     ::setenv("MONTAGE_SERVER_PORT", "0", 1);
     for (const auto& [k, v] : env) ::setenv(k.c_str(), v.c_str(), 1);
+    if (!stderr_file.empty()) {
+      const int fd = ::open(stderr_file.c_str(),
+                            O_CREAT | O_WRONLY | O_TRUNC, 0600);
+      if (fd >= 0) {
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+    }
     ::execl(MONTAGE_SERVER_BIN, MONTAGE_SERVER_BIN, port_arg.c_str(),
             static_cast<char*>(nullptr));
     ::_exit(127);
   }
   // Poll for the atomically renamed port file (the server is serving once
-  // it exists). A child that died early fails the wait.
+  // it exists). A child that died early fails the wait. The second line,
+  // present only with the admin plane on, is the bound admin port.
   for (int i = 0; i < 400; ++i) {
     std::FILE* f = std::fopen(port_file.c_str(), "r");
     if (f != nullptr) {
       unsigned p = 0;
-      const int got = std::fscanf(f, "%u", &p);
+      unsigned ap = 0;
+      const int got = std::fscanf(f, "%u %u", &p, &ap);
       std::fclose(f);
-      if (got == 1 && p != 0) {
+      if (got >= 1 && p != 0) {
         h.port = static_cast<uint16_t>(p);
+        h.admin_port = static_cast<uint16_t>(ap);
         return h;
       }
     }
@@ -192,6 +213,63 @@ uint64_t stat_value(const std::string& stats, const std::string& key) {
   const std::size_t pos = stats.find(tag);
   if (pos == std::string::npos) return ~0ull;
   return std::strtoull(stats.c_str() + pos + tag.size(), nullptr, 10);
+}
+
+/// Minimal HTTP/1.1 GET against the admin plane (which always answers
+/// Connection: close, so EOF delimits the response).
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Non-asserting connect: tests that poll the admin plane while the server
+/// may be exiting (drain) treat a refused connection as data, not a failure.
+int connect_try(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval tv{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+HttpResponse http_get(uint16_t port, const std::string& path) {
+  HttpResponse r;
+  const int fd = connect_try(port);
+  if (fd < 0) return r;
+  if (!send_all(fd, "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: close\r\n\r\n")) {
+    ::close(fd);
+    return r;
+  }
+  const std::string raw = recv_until_eof(fd);
+  ::close(fd);
+  if (raw.rfind("HTTP/1.1 ", 0) == 0) {
+    r.status = std::atoi(raw.c_str() + strlen("HTTP/1.1 "));
+  }
+  const std::size_t hdr_end = raw.find("\r\n\r\n");
+  if (hdr_end != std::string::npos) r.body = raw.substr(hdr_end + 4);
+  return r;
+}
+
+/// Slurp a file written by the server child (its redirected stderr).
+std::string read_file(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
 }
 
 TEST(ServerSmoke, PipelinedProtocolBasics) {
@@ -527,6 +605,198 @@ TEST(ServerSmoke, SlowReaderIsBackpressuredThenStallClosed) {
   ::close(ctl);
   ::kill(srv.pid, SIGTERM);
   srv.wait_exit();
+}
+
+TEST(ServerSmoke, AdminPlaneServesMetricsHealthzVarz) {
+  const std::string dir = test_dir();
+  ServerHandle srv = start_server(dir, {{"MONTAGE_SERVER_REGION_MB", "64"},
+                                        {"MONTAGE_SERVER_ADMIN_PORT", "0"}});
+  ASSERT_GT(srv.port, 0);
+  ASSERT_GT(srv.admin_port, 0) << "admin port missing from the port file";
+  // Some load first, so the scrape reflects real traffic.
+  const int fd = connect_to(srv.port);
+  std::string burst;
+  for (int i = 0; i < 20; ++i) {
+    burst += "set m:" + std::to_string(i) + " 0 0 3\r\nval\r\nget m:" +
+             std::to_string(i) + "\r\n";
+  }
+  ASSERT_TRUE(send_all(fd, burst));
+  ASSERT_EQ(count_of(recv_until(fd, "END\r\n", 20), "STORED\r\n"), 20);
+
+  const HttpResponse health = http_get(srv.admin_port, "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  // /metrics under load must satisfy the same strict exposition linter the
+  // scripts/check.sh scrape leg uses (linked here in-process).
+  const HttpResponse metrics = http_get(srv.admin_port, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(promexpo::lint(metrics.body), "")
+      << metrics.body.substr(0, 400);
+  EXPECT_NE(metrics.body.find("montage_up 1\n"), std::string::npos);
+  EXPECT_NE(metrics.body.find("montage_server_curr_connections"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("montage_server_epoch_persisted"),
+            std::string::npos);
+
+  const HttpResponse varz = http_get(srv.admin_port, "/varz");
+  EXPECT_EQ(varz.status, 200);
+  EXPECT_NE(varz.body.find("\"server\":{\"port\":"), std::string::npos);
+  EXPECT_NE(varz.body.find("\"requests\":"), std::string::npos);
+  EXPECT_NE(varz.body.find("\"slow_ops\":["), std::string::npos);
+  EXPECT_NE(varz.body.find("\"registry\":"), std::string::npos);
+
+  EXPECT_EQ(http_get(srv.admin_port, "/nope").status, 404);
+
+  // The registry is also reachable over the data protocol (`stats montage`),
+  // and unknown stats arguments are rejected instead of ignored.
+  ASSERT_TRUE(send_all(fd, "stats montage\r\n"));
+  const std::string mstats = recv_until(fd, "END\r\n", 1);
+  EXPECT_NE(mstats.find("STAT telemetry "), std::string::npos) << mstats;
+  EXPECT_NE(stat_value(mstats, "epoch_current"), ~0ull) << mstats;
+  EXPECT_NE(stat_value(mstats, "nvm.lines_flushed_total"), ~0ull) << mstats;
+  ASSERT_TRUE(send_all(fd, "stats bogus\r\nget m:0\r\n"));
+  const std::string after = recv_until(fd, "END\r\n", 1);
+  EXPECT_NE(after.find("CLIENT_ERROR"), std::string::npos) << after;
+  EXPECT_NE(after.find("VALUE m:0 0 3"), std::string::npos)
+      << "stream must stay in sync after a rejected stats argument: " << after;
+  ::close(fd);
+  ASSERT_EQ(::kill(srv.pid, SIGTERM), 0);
+  const int st = srv.wait_exit();
+  EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0) << st;
+}
+
+TEST(ServerSmoke, HealthzReports503DuringDrain) {
+  // A flooded, non-reading peer keeps the drain window open (undrained
+  // responses, no stall close within the test horizon) so /healthz can be
+  // polled mid-drain: 200 before SIGTERM, 503 from the first poll after,
+  // then a clean deadline-bounded exit.
+  const std::string dir = test_dir();
+  ServerHandle srv = start_server(dir, {{"MONTAGE_SERVER_REGION_MB", "64"},
+                                        {"MONTAGE_SERVER_ADMIN_PORT", "0"},
+                                        {"MONTAGE_SERVER_MAX_INFLIGHT", "0"},
+                                        {"MONTAGE_SERVER_WRITE_BUF", "4096"},
+                                        {"MONTAGE_SERVER_STALL_MS", "60000"},
+                                        {"MONTAGE_SERVER_DRAIN_MS", "2000"}});
+  ASSERT_GT(srv.port, 0);
+  ASSERT_GT(srv.admin_port, 0);
+  const int ctl = connect_to(srv.port);
+  const std::string big(1000, 'x');
+  ASSERT_TRUE(send_all(ctl, "set big 0 0 " + std::to_string(big.size()) +
+                                "\r\n" + big + "\r\n"));
+  ASSERT_EQ(count_of(recv_until(ctl, "STORED\r\n", 1), "STORED\r\n"), 1);
+  const int bad = connect_to(srv.port, /*rcvbuf=*/8192);
+  std::string flood;
+  for (int i = 0; i < 10'000; ++i) flood += "get big\r\n";
+  (void)!send_all(bad, flood);
+  ::usleep(200'000);  // let responses pile up behind the dead reader
+
+  EXPECT_EQ(http_get(srv.admin_port, "/healthz").status, 200);
+  ASSERT_EQ(::kill(srv.pid, SIGTERM), 0);
+  int saw_503 = 0;
+  for (int i = 0; i < 100; ++i) {
+    int st = 0;
+    if (::waitpid(srv.pid, &st, WNOHANG) == srv.pid) {
+      srv.pid = -1;
+      EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0) << st;
+      break;
+    }
+    const HttpResponse h = http_get(srv.admin_port, "/healthz");
+    if (h.status == 503) {
+      ++saw_503;
+      EXPECT_EQ(h.body, "draining\n");
+    }
+    ::usleep(50'000);
+  }
+  EXPECT_GE(saw_503, 1) << "healthz never reported the drain";
+  ::close(bad);
+  ::close(ctl);
+  if (srv.pid > 0) {
+    const int st = srv.wait_exit();
+    EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0) << st;
+  }
+}
+
+TEST(ServerSmoke, MetricsScrapeSurvivesKill9Recovery) {
+  const std::string dir = test_dir();
+  const EnvList env = {{"MONTAGE_SERVER_REGION", dir + "/region"},
+                       {"MONTAGE_SERVER_REGION_MB", "64"},
+                       {"MONTAGE_SERVER_ADMIN_PORT", "0"}};
+  {
+    ServerHandle srv = start_server(dir, env);
+    ASSERT_GT(srv.port, 0);
+    ASSERT_GT(srv.admin_port, 0);
+    const int fd = connect_to(srv.port);
+    ASSERT_TRUE(send_all(fd, "set sk 0 0 9\r\nsurvivor!\r\n"));
+    ASSERT_EQ(count_of(recv_until(fd, "STORED\r\n", 1), "STORED\r\n"), 1);
+    const HttpResponse metrics = http_get(srv.admin_port, "/metrics");
+    EXPECT_EQ(metrics.status, 200);
+    EXPECT_EQ(promexpo::lint(metrics.body), "");
+    ::close(fd);
+    ASSERT_EQ(::kill(srv.pid, SIGKILL), 0);
+    srv.wait_exit();
+  }
+  // Recovery must come back with a fully working introspection plane.
+  ServerHandle srv = start_server(dir, env);
+  ASSERT_GT(srv.port, 0);
+  ASSERT_GT(srv.admin_port, 0);
+  EXPECT_EQ(http_get(srv.admin_port, "/healthz").status, 200);
+  const HttpResponse metrics = http_get(srv.admin_port, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(promexpo::lint(metrics.body), "") << metrics.body.substr(0, 400);
+  EXPECT_NE(metrics.body.find("montage_up 1\n"), std::string::npos);
+  const int fd = connect_to(srv.port);
+  ASSERT_TRUE(send_all(fd, "get sk\r\n"));
+  EXPECT_NE(recv_until(fd, "END\r\n", 1).find("survivor!"), std::string::npos);
+  ::close(fd);
+  ::kill(srv.pid, SIGTERM);
+  srv.wait_exit();
+}
+
+TEST(ServerSmoke, SlowOpEmitsExactlyOneLogLine) {
+  // Wedge the syncer so the single SET's ACK waits for the caller-help
+  // threshold (~20 ms), far past the 1 ms slow-op bar: exactly one slow op,
+  // one structured log line, one counter increment, one /varz ring entry.
+  // The `stats` probe is sent only after STORED arrives — a pipelined
+  // request queued behind the pending SET would be released late too and
+  // count as a second slow op.
+  const std::string dir = test_dir();
+  const std::string errlog = dir + "/stderr.log";
+  ServerHandle srv = start_server(dir,
+                                  {{"MONTAGE_SERVER_REGION_MB", "64"},
+                                   {"MONTAGE_SERVER_ADMIN_PORT", "0"},
+                                   {"MONTAGE_SERVER_SYNCER_WEDGE", "1"},
+                                   {"MONTAGE_SERVER_HELP_US", "20000"},
+                                   {"MONTAGE_SERVER_SLOW_OP_NS", "1000000"}},
+                                  errlog);
+  ASSERT_GT(srv.port, 0);
+  ASSERT_GT(srv.admin_port, 0);
+  const int fd = connect_to(srv.port);
+  ASSERT_TRUE(send_all(fd, "set slowkey 0 0 5\r\nhello\r\n"));
+  ASSERT_EQ(count_of(recv_until(fd, "STORED\r\n", 1), "STORED\r\n"), 1);
+
+  ASSERT_TRUE(send_all(fd, "stats\r\n"));
+  const std::string stats = recv_until(fd, "END\r\n", 1);
+  EXPECT_EQ(stat_value(stats, "slow_ops"), 1u) << stats;
+
+  // The line was emitted (and fflushed) at the release point, strictly
+  // before the STORED bytes entered the socket — no settling wait needed.
+  const std::string log = read_file(errlog);
+  EXPECT_EQ(count_of(log, "\"event\":\"slow_op\""), 1) << log;
+  EXPECT_NE(log.find("\"verb\":\"set\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"key_hash\":\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"epoch_begin\":"), std::string::npos) << log;
+  EXPECT_NE(log.find("\"persisted_frontier\":"), std::string::npos) << log;
+
+  const HttpResponse varz = http_get(srv.admin_port, "/varz");
+  EXPECT_EQ(varz.status, 200);
+  EXPECT_NE(varz.body.find("\"slow_ops\":[{"), std::string::npos)
+      << "slow-op ring empty in /varz: " << varz.body.substr(0, 400);
+  EXPECT_NE(varz.body.find("\"verb\":\"set\""), std::string::npos);
+  ::close(fd);
+  ASSERT_EQ(::kill(srv.pid, SIGTERM), 0);
+  const int st = srv.wait_exit();
+  EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0) << st;
 }
 
 }  // namespace

@@ -358,6 +358,39 @@ TEST(ServerConfig, DefaultsWhenUnset) {
   EXPECT_EQ(c.help_threshold_us, 0u);  // 0 = derive 8x sync_interval_us
   EXPECT_FALSE(c.syncer_wedge);
   EXPECT_EQ(c.drain_deadline_ms, 5000u);
+  // The admin plane and slow-op capture default OFF: no unrequested listener,
+  // no unrequested log traffic.
+  EXPECT_FALSE(c.admin_enabled);
+  EXPECT_EQ(c.admin_port, 0);
+  EXPECT_EQ(c.slow_op_ns, 0u);
+}
+
+TEST(ServerConfig, AdminPortPresenceIsTheEnableSwitch) {
+  ::unsetenv("MONTAGE_SERVER_ADMIN_PORT");
+  EXPECT_FALSE(server::ServerConfig::from_env().admin_enabled);
+  {
+    ScopedEnv e("MONTAGE_SERVER_ADMIN_PORT", "0");  // 0 = kernel-chosen port
+    const auto c = server::ServerConfig::from_env();
+    EXPECT_TRUE(c.admin_enabled);
+    EXPECT_EQ(c.admin_port, 0);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_ADMIN_PORT", "9901");
+    const auto c = server::ServerConfig::from_env();
+    EXPECT_TRUE(c.admin_enabled);
+    EXPECT_EQ(c.admin_port, 9901);
+  }
+  {
+    // Empty string counts as unset, not as port 0 (a likely quoting slip in
+    // a service file should not silently open a listener).
+    ScopedEnv e("MONTAGE_SERVER_ADMIN_PORT", "");
+    EXPECT_FALSE(server::ServerConfig::from_env().admin_enabled);
+  }
+}
+
+TEST(ServerConfig, SlowOpThresholdParses) {
+  ScopedEnv e("MONTAGE_SERVER_SLOW_OP_NS", "2500000");
+  EXPECT_EQ(server::ServerConfig::from_env().slow_op_ns, 2'500'000u);
 }
 
 TEST(ServerConfig, ParsesOverrides) {
@@ -417,6 +450,18 @@ TEST(ServerConfig, RejectsMalformedInsteadOfDefaulting) {
   }
   {
     ScopedEnv e("MONTAGE_SERVER_SYNCER_WEDGE", "2");  // strictly 0 or 1
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_ADMIN_PORT", "70000");  // not a TCP port
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_ADMIN_PORT", "metrics");
+    EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("MONTAGE_SERVER_SLOW_OP_NS", "slowish");
     EXPECT_THROW(server::ServerConfig::from_env(), std::invalid_argument);
   }
 }
