@@ -1,0 +1,70 @@
+// Figure 16 (repo extension, DESIGN.md §15): epoch-shard scaling sweep. A
+// write-dominant Montage hashmap is driven at 1..2x the configured core
+// count, once per shard configuration — shards=1 (the pre-sharding epoch
+// system: one mindicator tree, serial boundary drain, mutex-only write-back
+// registration, one allocator arena) against shards=2 and shards=4 (sharded
+// mindicator, parallel cooperative boundary drain, SPSC registration fast
+// path, per-shard Ralloc arenas). Each point reports throughput, sampled
+// per-op latency percentiles (p99 is the one the boundary stall moves), and
+// lines_per_op, so a shard config that wins throughput by flushing more
+// cannot hide it.
+//
+// Note: MONTAGE_EPOCH_SHARDS in the environment overrides every series'
+// Options::epoch_shards — leave it unset when running this figure.
+#include "bench/map_adapters.hpp"
+
+namespace montage::bench {
+namespace {
+
+using Val = util::InlineStr<64>;
+
+/// 1,2,4,... up to 2x max_threads: past the core count the sweep shows how
+/// the boundary drain behaves oversubscribed (helpers and the advancer
+/// contend for the same cores).
+std::vector<int> scaling_thread_counts(const Config& cfg) {
+  std::vector<int> out;
+  const int top = 2 * cfg.max_threads;
+  for (int t = 1; t <= top; t *= 2) out.push_back(t);
+  if (out.back() != top) out.push_back(top);
+  return out;
+}
+
+void run_series(const Config& cfg, int shards) {
+  const std::string name = "Montage(shards=" + std::to_string(shards) + ")";
+  if (!series_enabled(name)) return;
+  const Val value = make_value<64>();
+  const auto buckets =
+      std::max<uint64_t>(1024, static_cast<uint64_t>(1'000'000 * cfg.scale));
+  for (int threads : scaling_thread_counts(cfg)) {
+    BenchEnv env(cfg, 6ull << 30, nvm::PersistMode::kLatency,
+                 /*arena_shards=*/shards);
+    EpochSys::Options o;
+    o.epoch_shards = shards;
+    env.make_esys(o);
+    MontageMapAdapter<Val> a(env, buckets);
+    preload_map(a, buckets / 2, buckets, value);
+    const uint64_t lines0 = nvm::Region::global()->stats().lines_flushed;
+    const ThroughputResult r =
+        run_map_mix(a, threads, cfg.seconds, 0, 1, 1, buckets, value);
+    const uint64_t lines1 = nvm::Region::global()->stats().lines_flushed;
+    emit_result("fig16", name, std::to_string(threads), r);
+    emit_lines_per_op("fig16", name, std::to_string(threads), r, lines0,
+                      lines1);
+  }
+}
+
+void main_impl() {
+  const Config cfg = Config::from_env();
+  for (int shards : {1, 2, 4}) run_series(cfg, shards);
+}
+
+}  // namespace
+}  // namespace montage::bench
+
+int main(int argc, char** argv) {
+  montage::bench::parse_args(argc, argv);
+  std::printf("figure,series,x,value\n");
+  montage::bench::main_impl();
+  montage::bench::emit_stats_json();
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "nvm/region.hpp"
 #include "util/env.hpp"
+#include "util/pin.hpp"
 #include "util/telemetry.hpp"
 #include "util/timing.hpp"
 
@@ -45,13 +46,30 @@ thread_local bool tls_is_advancer = false;
 std::atomic<EpochSys*> g_default_esys{nullptr};
 }  // namespace
 
+namespace {
+// Resolve the shard count (DESIGN.md §15): env override beats the Options
+// request beats the machine topology; always clamped to [1, max_threads].
+int resolve_epoch_shards(const EpochSys::Options& opts) {
+  int s = util::epoch_shards_override();
+  if (s == 0) {
+    s = opts.epoch_shards > 0 ? opts.epoch_shards : util::topology_shards();
+  }
+  if (s < 1) s = 1;
+  if (s > opts.max_threads) s = opts.max_threads;
+  return s;
+}
+}  // namespace
+
 EpochSys::EpochSys(ralloc::Ralloc* ral, const Options& opts, bool recover)
     : ral_(ral),
       opts_(opts),
       clock_(&ral->region()->root(kClockRoot)),
       tds_(std::make_unique<ThreadData[]>(opts.max_threads)),
-      mind_(opts.max_threads),
+      nshards_(resolve_epoch_shards(opts)),
+      mind_(opts.max_threads, nshards_),
       uid_root_(&ral->region()->root(kUidRoot)) {
+  opts_.epoch_shards = nshards_;  // options() reports the resolved count
+  shard_tickets_ = std::make_unique<ShardTicket[]>(nshards_);
   nvm::Region* region = ral_->region();
   if (recover) {
     crash_epoch_ = clock_->load(std::memory_order_relaxed);
@@ -127,7 +145,11 @@ void EpochSys::stop_advancer() {
   // either joins the fresh thread or prevents it from starting at all, and
   // double stops (destructor after an explicit stop, stop before any start)
   // find nothing joinable and return.
-  std::lock_guard lk(advancer_mutex_);
+  std::unique_lock lk(advancer_mutex_, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    telemetry::count(telemetry::Ctr::kEpochAdvanceLockWaits);
+    lk.lock();
+  }
   stop_.store(true, std::memory_order_release);
   if (advancer_.joinable()) advancer_.join();
   advancer_running_.store(false, std::memory_order_release);
@@ -135,7 +157,11 @@ void EpochSys::stop_advancer() {
 
 void EpochSys::start_advancer() {
   if (opts_.transient) return;
-  std::lock_guard lk(advancer_mutex_);
+  std::unique_lock lk(advancer_mutex_, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    telemetry::count(telemetry::Ctr::kEpochAdvanceLockWaits);
+    lk.lock();
+  }
   start_advancer_locked();
 }
 
@@ -235,6 +261,12 @@ uint64_t EpochSys::begin_op() {
     std::lock_guard lk(td.m);
     td.op_new_blocks.clear();
     if (mind_.parked(tid)) mind_.unpark(tid);
+    // Fold the previous op's staged registrations into the rings so every
+    // fast-path entry is ring-visible before this op starts, and reset the
+    // staging dedup hint — it must never suppress a registration of the
+    // same payload under this op's (different) epoch.
+    flush_staging(td);
+    td.stage_last_blk = nullptr;
   }
 
   // Help any waiting sync(): write back our own stale buffers early.
@@ -407,6 +439,12 @@ void EpochSys::abort_op() noexcept {
         tls_esys = nullptr;
         return;
       }
+      // Staged fast-path registrations must be ring-visible before the
+      // present-checks below, or a dead-marked block could enter the ring
+      // twice. flush_staging never evicts (it may push past the capacity
+      // bound, like the loop below), so no persistence event is issued and
+      // the noexcept contract holds.
+      flush_staging(td);
       // Cancel the pdelete / ensure_writable requests this operation queued:
       // their victims stay live in the structure. The size guard tolerates a
       // list that was swapped out from under the mark (cannot happen while
@@ -543,6 +581,50 @@ void EpochSys::register_write(PBlk* p) {
   if (opts_.transient) return;
   ThreadData& td = my_td();
   assert(td.in_op);
+  // Lock-free SPSC fast path (DESIGN.md §15), sharded configurations only
+  // (MONTAGE_EPOCH_SHARDS=1 kills it along with the rest of the shard
+  // machinery): the owner is the sole producer of its staging ring, so a
+  // buffered registration is a plain store + release of stage_head — no
+  // td.m. Consumers (drains, adoption) fold staged entries into the rings
+  // under td.m before reading any ring state, so nothing here can be
+  // skipped by a boundary. Adopted/sealed/full cases fall through to the
+  // classic mutex path.
+  if (nshards_ > 1 && opts_.write_back == WriteBack::kBuffered &&
+      !td.adopted.load(std::memory_order_acquire)) {
+    const uint64_t e = td.op_epoch;
+    if (e >= td.stage_seal.load(std::memory_order_acquire)) {
+      const uint64_t tail = td.stage_tail.load(std::memory_order_acquire);
+      if (td.stage_last_blk == p && td.stage_last_idx >= tail) {
+        // Back-to-back re-registration of the hottest payload while its
+        // entry is still staged: the flush-time ring_push would dedup it
+        // anyway; skip the store entirely.
+        telemetry::count(telemetry::Ctr::kEpochRegLockfreeHits);
+        if (opts_.coalesce) telemetry::count(telemetry::Ctr::kWbDedupHits);
+        return;
+      }
+      const uint64_t head = td.stage_head.load(std::memory_order_relaxed);
+      if (head - tail < ThreadData::kStageCap) {
+        td.stage[head % ThreadData::kStageCap] = {p, e};
+        td.stage_head.store(head + 1, std::memory_order_release);
+        // Seal re-check: a consumer that sealed this epoch between our
+        // first check and the publish may have scanned before the entry
+        // became visible. Re-register through the mutex path — the staged
+        // duplicate is harmless (ring_push dedups; a drain that does see
+        // it rewrites already-sealed bytes).
+        if (e >= td.stage_seal.load(std::memory_order_acquire)) {
+          td.stage_last_blk = p;
+          td.stage_last_idx = head;
+          // Keep the mindicator hint fresh without the lock: the owner is
+          // the only writer of its leaf outside adoption, and set() itself
+          // handles a racing park.
+          const int tid = util::thread_id();
+          if (mind_.get(tid) > e) mind_.set(tid, e);
+          telemetry::count(telemetry::Ctr::kEpochRegLockfreeHits);
+          return;
+        }
+      }
+    }
+  }
   std::lock_guard lk(td.m);
   if (td.adopted.load(std::memory_order_acquire)) {
     throw OrphanedOperationException{};
@@ -850,9 +932,67 @@ void EpochSys::ring_push(ThreadData& td, uint64_t e, PBlk* p) {
   update_mindicator(td, static_cast<int>(&td - tds_.get()));
 }
 
+void EpochSys::flush_staging(ThreadData& td, uint64_t seal_below) {
+  if (seal_below != 0) {
+    // CAS-max: the seal never regresses. Sealing before the scan is the
+    // seal-then-scan consumer protocol — a producer that observes the new
+    // seal after its publish re-registers through the mutex path, so no
+    // staged entry for a sealed epoch can be missed by this scan's caller.
+    uint64_t s = td.stage_seal.load(std::memory_order_relaxed);
+    while (s < seal_below &&
+           !td.stage_seal.compare_exchange_weak(s, seal_below,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+  const uint64_t head = td.stage_head.load(std::memory_order_acquire);
+  uint64_t tail = td.stage_tail.load(std::memory_order_relaxed);
+  if (tail == head) return;
+  bool pushed = false;
+  for (; tail != head; ++tail) {
+    const ThreadData::StageEntry ent =
+        td.stage[tail % ThreadData::kStageCap];
+    const uint64_t e = ent.epoch;
+    auto& ring = td.to_persist[e % 4];
+    if (opts_.coalesce) {
+      // Mirror ring_push's bookkeeping — restamp the slot filter for a
+      // reused slot, dedup through the member set, and re-dirty the
+      // payload's lines either way (its bytes changed at registration
+      // time, so any already-flushed record is stale).
+      if (td.slot_filter_epoch[e % 4] != e) {
+        td.slot_filter_lines[e % 4].clear();
+        td.slot_filter_epoch[e % 4] = e;
+      }
+      if (td.ring_members[e % 4].contains(ent.blk)) {
+        slot_filter_dirty(td, e, ent.blk);
+        telemetry::count(telemetry::Ctr::kWbDedupHits);
+        continue;
+      }
+    } else if (!ring.empty() && td.ring_epoch[e % 4] == e &&
+               ring.back() == ent.blk) {
+      continue;
+    }
+    // Deliberately NOT ring_push: pushing past the capacity bound avoids
+    // the overflow eviction's persistence event, which keeps this callable
+    // from the noexcept abort/adopt rollbacks. The excess (at most
+    // kStageCap entries) drains at the next boundary.
+    if (ring.empty()) td.ring_epoch[e % 4] = e;
+    ring.push_back(ent.blk);
+    if (opts_.coalesce) {
+      td.ring_members[e % 4].insert(ent.blk);
+      slot_filter_dirty(td, e, ent.blk);
+    }
+    pushed = true;
+  }
+  td.stage_tail.store(tail, std::memory_order_release);
+  if (pushed) update_mindicator(td, static_cast<int>(&td - tds_.get()));
+}
+
 std::size_t EpochSys::drain_ring(ThreadData& td, uint64_t e,
-                                 std::vector<uint64_t>* boundary_filter) {
+                                 std::vector<uint64_t>* boundary_filter,
+                                 uint64_t seal_below) {
   std::lock_guard lk(td.m);
+  flush_staging(td, seal_below);
   auto& ring = td.to_persist[e % 4];
   if (ring.empty() || td.ring_epoch[e % 4] != e) return 0;
   const std::size_t n = ring.size();
@@ -876,6 +1016,133 @@ std::size_t EpochSys::drain_ring(ThreadData& td, uint64_t e,
   td.ring_members[e % 4].clear();
   update_mindicator(td, static_cast<int>(&td - tds_.get()));
   return n;
+}
+
+namespace {
+// Consume one abandon token (test hook): true means the caller should walk
+// away from a shard claim it just won, simulating a claimant dying mid-drain.
+bool consume_abandon(std::atomic<int>& counter) {
+  int n = counter.load(std::memory_order_acquire);
+  while (n > 0) {
+    if (counter.compare_exchange_weak(n, n - 1, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+std::size_t EpochSys::drain_shard(int s, uint64_t ep,
+                                  std::vector<uint64_t>* filter) {
+  const int hwm = tid_hwm_.load(std::memory_order_acquire);
+  std::size_t drained = 0;
+  for (int t = 0; t < hwm; ++t) {
+    if (util::shard_of(t, nshards_) != s) continue;
+    drained += drain_ring(tds_[t], ep, filter, ep + 1);
+  }
+  telemetry::count(telemetry::Ctr::kEpochShardDrains);
+  // CAS-max: `done` never regresses. A stale claimant replaying a lost lap
+  // (or a PersistError retry racing a successful helper) must not roll the
+  // completion frontier back below a boundary that already finished.
+  ShardTicket& tk = shard_tickets_[s];
+  uint64_t cur = tk.done.load(std::memory_order_acquire);
+  while (cur < ep && !tk.done.compare_exchange_weak(
+                         cur, ep, std::memory_order_acq_rel,
+                         std::memory_order_acquire)) {
+  }
+  return drained;
+}
+
+std::size_t EpochSys::drain_boundary_sharded(ThreadData& me, uint64_t ep) {
+  const int my_tid = static_cast<int>(&me - tds_.get());
+  const int my_shard = util::shard_of(my_tid, nshards_);
+  std::vector<uint64_t>* filter =
+      opts_.coalesce ? &me.wb_filter_lines : nullptr;
+  // Publish the boundary epoch: from here until the clock CAS, shield
+  // spinners may claim and drain shards on our behalf. drain_epoch_ is only
+  // meaningful while ep + 1 == clock (help_drain_boundary re-checks).
+  drain_epoch_.store(ep, std::memory_order_release);
+  std::size_t drained = 0;
+  // Claim pass: own shard first (its rings are the ones this thread's cache
+  // already touched), then the rest ascending from ours so concurrent
+  // advancers starting at different shards fan out instead of colliding.
+  for (int k = 0; k < nshards_; ++k) {
+    const int s = (my_shard + k) % nshards_;
+    ShardTicket& tk = shard_tickets_[s];
+    uint64_t expect = tk.claim.load(std::memory_order_acquire);
+    if (expect >= ep) continue;  // already claimed for this (or a newer) tick
+    if (!tk.claim.compare_exchange_strong(expect, ep,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      continue;  // raced with a helper or concurrent advancer
+    }
+    if (s != my_shard && consume_abandon(drain_abandon_claims_)) {
+      continue;  // test hook: win the claim, then die before draining
+    }
+    drained += drain_shard(s, ep, filter);
+  }
+  // Takeover pass: the boundary cannot fence+tick until every shard reports
+  // done >= ep. A claimant that stalled or died leaves done behind; after a
+  // bounded courtesy wait we re-drain the shard ourselves. drain_ring is
+  // idempotent under td.m (a drained ring is empty), so a duplicate drain
+  // wastes at most a scan.
+  for (int s = 0; s < nshards_; ++s) {
+    ShardTicket& tk = shard_tickets_[s];
+    if (tk.done.load(std::memory_order_acquire) >= ep) continue;
+    const uint64_t spin_end = util::now_ns() + kShieldSpinNs;
+    while (tk.done.load(std::memory_order_acquire) < ep &&
+           util::now_ns() < spin_end) {
+      std::this_thread::yield();
+    }
+    if (tk.done.load(std::memory_order_acquire) >= ep) continue;
+    telemetry::count(telemetry::Ctr::kEpochDrainTakeovers);
+    drained += drain_shard(s, ep, filter);
+  }
+  return drained;
+}
+
+bool EpochSys::help_drain_boundary(ThreadData& me) {
+  const uint64_t ep = drain_epoch_.load(std::memory_order_acquire);
+  // A published boundary is live only while its tick is still pending: once
+  // the clock moves past ep + 1 the tickets belong to history (and will be
+  // re-claimed at the next boundary), so helping would drain nothing.
+  if (ep < kFirstEpoch || ep + 1 != clock_->load(std::memory_order_acquire)) {
+    return false;
+  }
+  const int my_tid = static_cast<int>(&me - tds_.get());
+  const int my_shard = util::shard_of(my_tid, nshards_);
+  std::vector<uint64_t>* filter = nullptr;
+  if (opts_.coalesce) {
+    // Helpers keep their own epoch-stamped line filter (shard-local dedup):
+    // a shard is drained by exactly one claimant, so within-shard lines
+    // still flush once; only a line shared across shard boundaries can
+    // flush twice, which correctness never depended on.
+    if (me.wb_filter_epoch != ep) {
+      me.wb_filter_lines.clear();
+      me.wb_filter_epoch = ep;
+    }
+    filter = &me.wb_filter_lines;
+  }
+  bool helped = false;
+  for (int s = 0; s < nshards_; ++s) {
+    ShardTicket& tk = shard_tickets_[s];
+    uint64_t expect = tk.claim.load(std::memory_order_acquire);
+    if (expect >= ep) continue;
+    if (!tk.claim.compare_exchange_strong(expect, ep,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      continue;
+    }
+    telemetry::count(telemetry::Ctr::kEpochDrainHelperClaims);
+    if (s != my_shard && consume_abandon(drain_abandon_claims_)) {
+      helped = true;  // test hook: claimed, then vanished mid-drain
+      continue;
+    }
+    drain_shard(s, ep, filter);
+    helped = true;
+  }
+  return helped;
 }
 
 void EpochSys::update_mindicator(ThreadData& td, int tid) {
@@ -965,6 +1232,14 @@ void EpochSys::adopt_thread(int tid, uint64_t upto) {
     return;
   }
   td.adopted.store(true, std::memory_order_release);
+  // Seal the orphan's staging through its op epoch, then fold the staged
+  // entries into the rings (seal-then-scan): the rollback's present-checks
+  // below must see every fast-path registration, and a resurrected owner
+  // that beats the adopted flag races either the seal (falls back to the
+  // mutex path, which throws Orphaned) or leaves a duplicate staged entry
+  // that later flushes as a rewrite of a dead-marked header — harmless.
+  // flush_staging never evicts, so no persistence event is issued here.
+  flush_staging(td, e + 1);
   // Replay abort_op's rollback on the orphan's behalf: cancel its queued
   // pdeletes, dead-mark everything the operation allocated and route it
   // through ring + deferred reclamation (see abort_op for why this is
@@ -1047,6 +1322,7 @@ bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
   // correctness never depends on holding the mutex.
   std::unique_lock lk(advance_mutex_, std::try_to_lock);
   if (!lk.owns_lock()) {
+    telemetry::count(telemetry::Ctr::kEpochAdvanceLockWaits);
     const uint64_t spin_end = util::now_ns() + kShieldSpinNs;
     while (!lk.try_lock()) {
       if (clock_->load(std::memory_order_acquire) != e_entry) {
@@ -1060,6 +1336,11 @@ bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
         return false;
       }
       if (now > spin_end) break;  // wedged holder: go lock-free
+      // Sharded boundaries turn shield spinners into drain helpers: claim
+      // and drain any shard the leader has published but not yet claimed,
+      // so boundary write-back cost scales with shard width (DESIGN.md
+      // §15) instead of burning the wait on yield().
+      if (nshards_ > 1 && help_drain_boundary(my_td())) continue;
       std::this_thread::yield();
     }
   }
@@ -1088,6 +1369,11 @@ bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
     for (int t = 0; t < hwm; ++t) {
       ThreadData& td = tds_[t];
       std::lock_guard tlk(td.m);
+      // Staged registrations must be ring-visible before the seal pass —
+      // the line-overlap checks below only see the rings. The seal word
+      // (e) closes epoch e-1 staging for good, so nothing can slip in
+      // between this pass and the drain.
+      flush_staging(td, e);
       if (td.ring_epoch[(e - 1) % 4] == e - 1) {
         for (PBlk* p : td.to_persist[(e - 1) % 4]) p->blk_seal();
       }
@@ -1103,14 +1389,24 @@ bool EpochSys::try_advance_epoch(uint64_t abs_deadline_ns) {
       me.wb_filter_epoch = e - 1;
     }
     const std::size_t filter_before = me.wb_filter_lines.size();
-    for (int t = 0; t < hwm; ++t) {
-      drained += drain_ring(tds_[t], e - 1, &me.wb_filter_lines);
+    if (nshards_ > 1) {
+      drained += drain_boundary_sharded(me, e - 1);
+    } else {
+      for (int t = 0; t < hwm; ++t) {
+        drained += drain_ring(tds_[t], e - 1, &me.wb_filter_lines);
+      }
     }
     boundary_lines = me.wb_filter_lines.size() - filter_before;
+  } else if (nshards_ > 1) {
+    drained += drain_boundary_sharded(my_td(), e - 1);
   } else {
     for (int t = 0; t < hwm; ++t) drained += drain_ring(tds_[t], e - 1);
   }
-  if (drained > 0) fence_retry();
+  // Sharded boundaries always fence: a helper may have flushed lines this
+  // thread never saw (its drained count lives in the helper), and the data
+  // fence must cover those flushes before the clock CAS below. The flat
+  // path keeps the drained>0 elision.
+  if (drained > 0 || nshards_ > 1) fence_retry();
   // 3. Reclaim payloads whose grace period expired (unless workers do it).
   // Safe without exclusive ownership: reclaim_list swaps each list out
   // under td.m (a block is reclaimed once) and skips slots holding epochs

@@ -149,6 +149,12 @@ class EpochSys {
     bool local_free = false;   ///< workers reclaim their own to_free lists
     bool direct_free = false;  ///< UNSAFE, bench-only: reclaim immediately
     bool transient = false;    ///< Montage(T): payloads in NVM, no persistence
+    /// Shard-aware epoch accounting (DESIGN.md §15): number of shards for
+    /// the per-shard mindicator trees and the parallel boundary drain.
+    /// 0 = resolve from the machine topology (util::topology_shards()).
+    /// Env MONTAGE_EPOCH_SHARDS overrides both; 1 restores the pre-sharding
+    /// single-tree, single-drainer behavior exactly.
+    int epoch_shards = 0;
 
     // ---- liveness layer (DESIGN.md §8) ----
     /// Adopt (abort + help-persist) an operation stalled longer than this;
@@ -319,6 +325,19 @@ class EpochSys {
     advancer_kill_.store(true, std::memory_order_release);
   }
 
+  /// TEST ONLY: make the next `n` remote-shard drain claims abandon the
+  /// shard after winning its ticket (claim published, drain never run, done
+  /// never marked) — a helper dying mid-claim. The boundary leader's
+  /// takeover pass must then finish the shard; deterministic fuel for the
+  /// sharded cooperative-liveness tests.
+  void inject_drain_claim_abandon(int n) {
+    drain_abandon_claims_.store(n, std::memory_order_release);
+  }
+
+  /// Number of epoch shards this instance resolved (DESIGN.md §15); 1 means
+  /// the sharded paths are disabled and behavior matches the flat system.
+  int epoch_shards() const { return nshards_; }
+
   /// Operations adopted from stalled threads since construction.
   uint64_t adopted_op_count() const {
     return adopted_ops_.load(std::memory_order_relaxed);
@@ -349,8 +368,9 @@ class EpochSys {
   ralloc::Ralloc* ralloc() const { return ral_; }
   /// Effective options (env overrides applied).
   const Options& options() const { return opts_; }
-  /// The min-epoch tracker over per-thread write-back buffers.
-  const Mindicator& mindicator() const { return mind_; }
+  /// The min-epoch tracker over per-thread write-back buffers (per-shard
+  /// trees behind a top-level min-combine; min() is the global minimum).
+  const ShardedMindicator& mindicator() const { return mind_; }
 
   // ---- thread-local access for the field macros ------------------------------
 
@@ -425,6 +445,29 @@ class EpochSys {
     std::atomic<bool> adopted{false};
     uint64_t uid_next = 0;  ///< per-thread uid block cursor
     uint64_t uid_limit = 0;
+
+    // ---- SPSC write-back staging (DESIGN.md §15) ----
+    // The owner's lock-free register_write fast path: the owner is the sole
+    // producer (publish entry, then release-store stage_head); every
+    // consumer — boundary drain, sync vacuum, helping scan, adoption —
+    // already serializes on td.m and flushes the staged entries into the
+    // epoch rings (flush_staging) before reading or reusing ring state, so
+    // staged payloads are never skipped by a drain. stage_seal is the
+    // epoch-tagged seal word: a consumer draining epoch e stores e+1 before
+    // scanning, and the producer re-checks it after publishing — an op whose
+    // epoch is already sealed takes the mutex path instead, so a staged
+    // entry can never belong to a boundary that has already drained.
+    struct StageEntry {
+      PBlk* blk;       ///< payload registered for write-back
+      uint64_t epoch;  ///< op epoch at registration (rings are per-epoch)
+    };
+    static constexpr std::size_t kStageCap = 128;  ///< fast-path ring size
+    StageEntry stage[kStageCap];
+    std::atomic<uint64_t> stage_head{0};  ///< producer cursor (release)
+    std::atomic<uint64_t> stage_tail{0};  ///< consumer cursor (under td.m)
+    std::atomic<uint64_t> stage_seal{0};  ///< epochs < seal are closed
+    PBlk* stage_last_blk = nullptr;  ///< owner-only: last staged payload,
+    uint64_t stage_last_idx = 0;     ///< and its slot, for back-to-back dedup
   };
 
   ThreadData& my_td() { return tds_[util::thread_id()]; }
@@ -479,8 +522,12 @@ class EpochSys {
   /// Options::coalesce the write-back is line-coalesced; `boundary_filter`
   /// (nullable) is the advancing thread's per-boundary line filter, letting
   /// the epoch-boundary drain skip lines already persisted this epoch.
+  /// `seal_below` (0 = none) closes epochs < seal_below against the SPSC
+  /// fast path before the staged entries are folded in — boundary drains
+  /// pass e+1, helping/vacuum drains leave the seal alone.
   std::size_t drain_ring(ThreadData& td, uint64_t e,
-                         std::vector<uint64_t>* boundary_filter = nullptr);
+                         std::vector<uint64_t>* boundary_filter = nullptr,
+                         uint64_t seal_below = 0);
 
   /// Invalidate and reclaim every block on `td.to_free[e % 4]`; returns the
   /// number of blocks reclaimed.
@@ -534,6 +581,32 @@ class EpochSys {
   void help_persist_up_to(uint64_t e);
   void update_mindicator(ThreadData& td, int tid);
 
+  /// Move every entry of td's SPSC staging ring into the per-epoch rings
+  /// (ring_push, which also re-dirties the slot filters). Caller holds td.m.
+  /// `seal_below` (0 = none) additionally closes epochs < seal_below against
+  /// further fast-path staging before the scan.
+  void flush_staging(ThreadData& td, uint64_t seal_below = 0);
+
+  /// Drain the epoch-`e` rings of every thread mapped to shard `s`
+  /// (boundary leg of the parallel drain). `filter` is the draining
+  /// thread's per-boundary line filter — shard-local by construction, so
+  /// the §13 coalescing invariants hold per drainer. Marks the shard's
+  /// ticket done and counts epoch.shard_drains. Returns blocks drained.
+  std::size_t drain_shard(int s, uint64_t e, std::vector<uint64_t>* filter);
+
+  /// The nshards_ > 1 boundary drain (DESIGN.md §15): publish the per-shard
+  /// drain tickets for epoch `e`, drain the caller's own shard, CAS-claim
+  /// the rest, and finish with a takeover pass that re-drains any shard
+  /// whose claimer died before marking it done. Returns blocks drained by
+  /// this thread.
+  std::size_t drain_boundary_sharded(ThreadData& me, uint64_t e);
+
+  /// Contention-shield helper: while another advancer leads the boundary,
+  /// claim-and-drain unclaimed shards of the published drain epoch. Counts
+  /// epoch.drain_helper_claims per shard claimed. Returns true if any shard
+  /// was drained.
+  bool help_drain_boundary(ThreadData& me);
+
   void advancer_loop();
   void start_advancer_locked();
 
@@ -542,8 +615,26 @@ class EpochSys {
   uint64_t crash_epoch_ = 0;  ///< clock value found at recover-construction
   std::atomic<uint64_t>* clock_;  ///< persistent epoch clock (a region root)
   std::unique_ptr<ThreadData[]> tds_;
-  Mindicator mind_;
+  /// Resolved shard count (Options::epoch_shards / env / topology); fixed
+  /// at construction. Declared before mind_, which is sized from it.
+  int nshards_ = 1;
+  ShardedMindicator mind_;
   std::atomic<uint64_t>* uid_root_;  ///< persistent uid high-water mark
+  /// Per-shard boundary drain tickets (DESIGN.md §15). `claim` is the
+  /// highest epoch some drainer has committed to draining for this shard
+  /// (CAS-advanced, monotone); `done` is the highest epoch whose drain
+  /// completed (CAS-max). claim > done means a drain is in flight — or its
+  /// claimer died, which the leader's takeover pass repairs.
+  struct alignas(util::kCacheLineSize) ShardTicket {
+    std::atomic<uint64_t> claim{0};  ///< highest epoch claimed for drain
+    std::atomic<uint64_t> done{0};   ///< highest epoch fully drained
+  };
+  std::unique_ptr<ShardTicket[]> shard_tickets_;
+  /// Epoch whose boundary drain is currently published (0 = none); helpers
+  /// read it to find work while spinning in the contention shield.
+  std::atomic<uint64_t> drain_epoch_{0};
+  /// TEST ONLY fuel for inject_drain_claim_abandon.
+  std::atomic<int> drain_abandon_claims_{0};
   /// Contention shield for concurrent advancers: held via try_lock only,
   /// never waited on unboundedly — a thread that cannot get it within a
   /// short spin proceeds lock-free (the clock CAS arbitrates). Purely a

@@ -69,8 +69,15 @@ constexpr Meta kCounterMeta[kNumCounters] = {
     {"server.sync_path_caller", "syncs"},
     {"server.slow_ops", "requests"},
     {"server.admin_requests", "requests"},
+    {"epoch.shard_drains", "drains"},
+    {"epoch.drain_helper_claims", "claims"},
+    {"epoch.drain_takeovers", "takeovers"},
+    {"epoch.registration_lockfree_hits", "registrations"},
+    {"epoch.advance_lock_waits", "waits"},
+    {"ralloc.arena_refills", "refills"},
+    {"ralloc.arena_steals", "steals"},
 };
-static_assert(static_cast<uint32_t>(Ctr::kSrvAdminRequests) == kNumCounters - 1,
+static_assert(static_cast<uint32_t>(Ctr::kRallocArenaSteals) == kNumCounters - 1,
               "counter catalog out of sync with Ctr enum");
 
 constexpr Meta kHistMeta[kNumHists] = {

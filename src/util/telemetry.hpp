@@ -147,6 +147,13 @@ enum class Ctr : uint32_t {
   kSrvSyncPathCaller,
   kSrvSlowOps,
   kSrvAdminRequests,
+  kEpochShardDrains,
+  kEpochDrainHelperClaims,
+  kEpochDrainTakeovers,
+  kEpochRegLockfreeHits,
+  kEpochAdvanceLockWaits,
+  kRallocArenaRefills,
+  kRallocArenaSteals,
   kCount,
 };
 

@@ -16,6 +16,7 @@
 
 #include "ds/montage_stack.hpp"
 #include "tests/test_env.hpp"
+#include "util/pin.hpp"
 #include "util/timing.hpp"
 
 namespace montage {
@@ -154,6 +155,133 @@ TEST(ThreadFailure, CooperativeTickAfterAdvancerKill) {
     }
     EXPECT_GE(coop, 3u);
     EXPECT_EQ(restarts, 0u);
+  }
+}
+
+TEST(ThreadFailure, ShardedDrainTakeoverCompletesBoundary) {
+  // Sharded boundary drain liveness (DESIGN.md §15): a claimant that wins a
+  // shard's drain ticket and dies before draining must not wedge the
+  // boundary — the advancing thread's takeover pass re-drains the shard
+  // after a bounded courtesy wait, and durability still lands. The abandon
+  // injection plays the dying claimant.
+  if (int ov = util::epoch_shards_override(); ov != 0 && ov != 4) {
+    GTEST_SKIP() << "MONTAGE_EPOCH_SHARDS=" << ov
+                 << " pins the shard count; this test needs 4";
+  }
+  EpochSys::Options o;
+  o.start_advancer = false;
+  o.epoch_shards = 4;
+  PersistentEnv env(64 << 20, o);
+  EpochSys* es = env.esys();
+  ASSERT_EQ(es->epoch_shards(), 4);
+
+  // Spread dirty payloads across shards: four concurrently-live threads
+  // hold four distinct tids, which land in distinct shards, so the
+  // boundary has per-shard work to claim.
+  std::atomic<int> ready{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      es->begin_op();
+      Payload* p = es->pnew<Payload>(static_cast<uint64_t>(100 + t), 1);
+      p->set_blk_tag(kTag);
+      es->end_op();
+      ready.fetch_add(1);
+      while (!release.load()) sleep_ms(1);
+    });
+  }
+  ASSERT_TRUE(eventually([&] { return ready.load() == 4; }));
+  release.store(true);
+  for (auto& w : workers) w.join();
+
+  telemetry::reset_metrics();  // isolate this boundary's drain counters
+  es->inject_drain_claim_abandon(1);
+  es->advance_epoch();
+  es->advance_epoch();
+  if (telemetry::kEnabled) {
+    uint64_t takeovers = 0, shard_drains = 0;
+    for (const auto& c : telemetry::counters_snapshot()) {
+      if (std::string(c.name) == "epoch.drain_takeovers") takeovers = c.value;
+      if (std::string(c.name) == "epoch.shard_drains") shard_drains = c.value;
+    }
+    EXPECT_GE(takeovers, 1u) << "abandoned claim was never taken over";
+    EXPECT_GE(shard_drains, 4u) << "not every shard ticket was drained";
+  }
+  EXPECT_TRUE(es->sync_for(5'000'000'000ull));
+
+  // The boundary the takeover completed really persisted: every worker's
+  // payload survives the crash.
+  auto survivors = env.crash_and_recover(1, o);
+  std::set<uint64_t> vals;
+  for (PBlk* b : survivors) {
+    auto* p = static_cast<Payload*>(b);
+    if (p->blk_tag() == kTag) vals.insert(p->get_unsafe_val());
+  }
+  for (uint64_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(vals.count(100 + t), 1u) << "payload " << t << " lost";
+  }
+}
+
+TEST(ThreadFailure, ShardedLockfreeRegistrationSurvivesDrain) {
+  // The SPSC registration fast path (DESIGN.md §15) must interleave safely
+  // with concurrent boundary drains: each worker stages in-place write
+  // registrations without taking its own td.m while the advancer (plus
+  // cooperative helpers) seals and drains the same epochs. Race them and
+  // prove the fast path was actually taken and a trailing sync loses
+  // nothing.
+  if (int ov = util::epoch_shards_override(); ov != 0 && ov != 4) {
+    GTEST_SKIP() << "MONTAGE_EPOCH_SHARDS=" << ov
+                 << " pins the shard count; this test needs 4";
+  }
+  EpochSys::Options o;
+  o.epoch_shards = 4;
+  o.epoch_length_ns = 500'000;  // fast boundaries: drains race registrations
+  PersistentEnv env(64 << 20, o);
+  EpochSys* es = env.esys();
+  telemetry::reset_metrics();
+
+  constexpr int kWriters = 4;
+  constexpr uint64_t kRounds = 200;
+  std::vector<std::thread> ws;
+  for (int t = 0; t < kWriters; ++t) {
+    ws.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kRounds; ++i) {
+        const uint64_t v = static_cast<uint64_t>(t) * 10'000 + i;
+        es->begin_op();
+        Payload* p = es->pnew<Payload>(v, 1);
+        p->set_blk_tag(kTag);
+        // In-place same-epoch write: registration takes the staged path.
+        p->set_val(v);
+        es->end_op();
+      }
+    });
+  }
+  for (auto& w : ws) w.join();
+  EXPECT_TRUE(es->sync_for(5'000'000'000ull));
+  if (telemetry::kEnabled) {
+    uint64_t hits = 0;
+    for (const auto& c : telemetry::counters_snapshot()) {
+      if (std::string(c.name) == "epoch.registration_lockfree_hits") {
+        hits = c.value;
+      }
+    }
+    EXPECT_GE(hits, 1u) << "no registration took the lock-free fast path";
+  }
+
+  // Every synced payload survives: the staged registrations all reached
+  // the rings before their epochs' boundary drains.
+  auto survivors = env.crash_and_recover(1, o);
+  std::set<uint64_t> vals;
+  for (PBlk* b : survivors) {
+    auto* p = static_cast<Payload*>(b);
+    if (p->blk_tag() == kTag) vals.insert(p->get_unsafe_val());
+  }
+  for (int t = 0; t < kWriters; ++t) {
+    for (uint64_t i = 0; i < kRounds; ++i) {
+      const uint64_t v = static_cast<uint64_t>(t) * 10'000 + i;
+      EXPECT_EQ(vals.count(v), 1u) << "payload " << v << " lost";
+    }
   }
 }
 
